@@ -1,0 +1,67 @@
+// Reproduces paper Table I + Fig. 10: multi-GPU weak scaling on TSUBAME
+// 1.2, 6 -> 528 GPUs at 320x256x48 per GPU, single precision, with the
+// overlapping and non-overlapping methods, plus the CPU reference line.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/cluster/step_model.hpp"
+
+using namespace asuca;
+using namespace asuca::bench;
+using namespace asuca::cluster;
+
+int main() {
+    title("Table I + Fig. 10 — multi-GPU weak scaling (TSUBAME 1.2)");
+
+    std::printf("%6s %8s %18s %12s %12s %12s\n", "GPUs", "PxxPy", "mesh",
+                "overlap", "non-overlap", "CPU cores");
+    std::printf("%6s %8s %18s %12s %12s %12s\n", "", "", "",
+                "[TFlops]", "[TFlops]", "[TFlops]");
+
+    double tf_overlap_528 = 0, tf_non_528 = 0, t6 = 0, t528 = 0;
+    for (const auto& d : table1_configs()) {
+        StepModelConfig over;
+        over.decomp = d;
+        const auto r_over = StepModel(calibration(), over).run();
+
+        StepModelConfig non = over;
+        non.overlap = false;
+        non.overlap_tracers = false;
+        non.fuse_density_theta = false;
+        const auto r_non = StepModel(calibration(), non).run();
+
+        StepModelConfig cpu = over;
+        cpu.cluster = ClusterSpec::tsubame12_cpu();
+        cpu.exec.precision = Precision::Double;
+        cpu.exec.layout = Layout::ZXY;  // kij is the CPU-friendly order
+        const auto r_cpu = StepModel(calibration(), cpu).run();
+
+        const auto g = d.global_mesh();
+        std::printf("%6lld %4lldx%-3lld %9lldx%lldx48 %12.2f %12.2f %12.3f\n",
+                    static_cast<long long>(d.gpu_count()),
+                    static_cast<long long>(d.px),
+                    static_cast<long long>(d.py),
+                    static_cast<long long>(g.x), static_cast<long long>(g.y),
+                    r_over.tflops_total, r_non.tflops_total,
+                    r_cpu.tflops_total);
+        if (d.gpu_count() == 6) t6 = r_over.total_s;
+        if (d.gpu_count() == 528) {
+            tf_overlap_528 = r_over.tflops_total;
+            tf_non_528 = r_non.tflops_total;
+            t528 = r_over.total_s;
+        }
+    }
+
+    title("Sec. V-B headline numbers");
+    std::printf("  %-52s %8s %8s\n", "", "paper", "this repo");
+    std::printf("  %-52s %8.1f %8.1f\n",
+                "528-GPU single-precision performance [TFlops]", 15.0,
+                tf_overlap_528);
+    std::printf("  %-52s %8.0f %8.0f\n",
+                "overlap improvement over non-overlap [%]", 14.0,
+                100.0 * (tf_overlap_528 - tf_non_528) / tf_non_528);
+    std::printf("  %-52s %8.0f %8.0f\n",
+                "weak scaling efficiency vs 6 GPUs [%]", 93.0,
+                100.0 * t6 / t528);
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 11: total time of one long step on 528 GPUs
+// (6956x6052x48, float) broken into computation, MPI communication and
+// GPU-CPU communication, for the non-overlapping and overlapping methods.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/cluster/step_model.hpp"
+
+using namespace asuca;
+using namespace asuca::bench;
+using namespace asuca::cluster;
+
+int main() {
+    title("Fig. 11 — one-step time breakdown @528 GPUs (22x24), float");
+
+    StepModelConfig cfg;
+    cfg.decomp.px = 22;
+    cfg.decomp.py = 24;
+    const auto over = StepModel(calibration(), cfg).run();
+
+    cfg.overlap = false;
+    cfg.overlap_tracers = false;
+    cfg.fuse_density_theta = false;
+    const auto non = StepModel(calibration(), cfg).run();
+
+    std::printf("%-16s %10s %12s %10s %12s\n", "", "total", "computation",
+                "MPI", "GPU-CPU");
+    std::printf("%-16s %10s %12s %10s %12s\n", "", "[ms]", "[ms]", "[ms]",
+                "[ms]");
+    std::printf("%-16s %10.0f %12.0f %10.0f %12.0f\n", "non-overlapping",
+                non.total_s * 1e3, non.compute_s * 1e3, non.mpi_s * 1e3,
+                non.pcie_s * 1e3);
+    std::printf("%-16s %10.0f %12.0f %10.0f %12.0f\n", "overlapping",
+                over.total_s * 1e3, over.compute_s * 1e3, over.mpi_s * 1e3,
+                over.pcie_s * 1e3);
+    std::printf("%-16s %10.0f %12.0f %10.0f %12.0f\n", "paper (overlap)",
+                988.0, 763.0, 336.0, 145.0);
+
+    title("Derived quantities");
+    const double comm = over.mpi_s + over.pcie_s;
+    const double exposed = over.total_s - over.compute_s;
+    std::printf("  total time reduction by overlapping:   %5.1f %%  "
+                "(paper: ~11%%)\n",
+                100.0 * (non.total_s - over.total_s) / non.total_s);
+    std::printf("  communication hidden by computation:   %5.1f %%  "
+                "(paper: ~53%%)\n",
+                100.0 * (1.0 - exposed / comm));
+    std::printf("  comm total %.0f ms vs paper's ~460 ms\n", comm * 1e3);
+    return 0;
+}

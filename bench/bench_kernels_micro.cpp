@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks of the REAL kernels executing on this
+// host: advection, acoustic substep pieces, Kessler, EOS, and the memory
+// layouts. These ground the performance model in actual measured code.
+#include <benchmark/benchmark.h>
+
+#include "src/core/scenarios.hpp"
+#include "src/physics/kessler.hpp"
+
+namespace asuca {
+namespace {
+
+struct Fixture {
+    ModelConfig<double> cfg;
+    AsucaModel<double> model;
+    MassFluxes<double> fluxes;
+    Tendencies<double> tend;
+
+    explicit Fixture(Layout layout)
+        : cfg(make_cfg(layout)), model(cfg), fluxes(model.grid()),
+          tend(model.grid(), cfg.species) {
+        scenarios::init_mountain_wave(model);
+        compute_mass_fluxes(model.grid(), model.state(), fluxes);
+    }
+
+    static ModelConfig<double> make_cfg(Layout layout) {
+        auto c = scenarios::mountain_wave_config<double>(64, 32, 48);
+        c.grid.layout = layout;
+        return c;
+    }
+};
+
+Fixture& fixture(Layout layout) {
+    static Fixture xzy(Layout::XZY);
+    static Fixture zxy(Layout::ZXY);
+    return layout == Layout::XZY ? xzy : zxy;
+}
+
+void BM_AdvectScalar(benchmark::State& state) {
+    auto& f = fixture(static_cast<Layout>(state.range(0)));
+    for (auto _ : state) {
+        f.tend.rhotheta.fill(0.0);
+        advect_scalar(f.model.grid(), f.fluxes, f.model.state().rho,
+                      f.model.state().rhotheta, f.tend.rhotheta);
+        benchmark::DoNotOptimize(f.tend.rhotheta.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            f.model.grid().spec().nx *
+                            f.model.grid().spec().ny *
+                            f.model.grid().spec().nz);
+}
+BENCHMARK(BM_AdvectScalar)
+    ->Arg(static_cast<int>(Layout::XZY))
+    ->Arg(static_cast<int>(Layout::ZXY))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdvectMomentumX(benchmark::State& state) {
+    auto& f = fixture(Layout::XZY);
+    for (auto _ : state) {
+        f.tend.rhou.fill(0.0);
+        advect_momentum_x(f.model.grid(), f.fluxes, f.model.state(),
+                          f.tend.rhou);
+        benchmark::DoNotOptimize(f.tend.rhou.data());
+    }
+}
+BENCHMARK(BM_AdvectMomentumX)->Unit(benchmark::kMillisecond);
+
+void BM_PressureGradientX(benchmark::State& state) {
+    auto& f = fixture(Layout::XZY);
+    for (auto _ : state) {
+        f.tend.rhou.fill(0.0);
+        pgf_x(f.model.grid(), f.model.state().p, f.tend.rhou);
+        benchmark::DoNotOptimize(f.tend.rhou.data());
+    }
+}
+BENCHMARK(BM_PressureGradientX)->Unit(benchmark::kMillisecond);
+
+void BM_AcousticSubstep(benchmark::State& state) {
+    auto& f = fixture(Layout::XZY);
+    AcousticStepper<double> ac(f.model.grid(), AcousticConfig{});
+    Tendencies<double> slow(f.model.grid(), f.cfg.species);
+    slow.clear();
+    ac.prepare(f.model.state());
+    ac.init_deviations(f.model.state(), f.model.state());
+    for (auto _ : state) {
+        ac.substep(slow, 0.4, LateralBc::Periodic);
+    }
+}
+BENCHMARK(BM_AcousticSubstep)->Unit(benchmark::kMillisecond);
+
+void BM_KesslerWarmRain(benchmark::State& state) {
+    auto& f = fixture(Layout::XZY);
+    Kessler<double> mp(f.model.grid(), KesslerConfig{});
+    for (auto _ : state) {
+        mp.apply(f.model.state(), 5.0);
+    }
+}
+BENCHMARK(BM_KesslerWarmRain)->Unit(benchmark::kMillisecond);
+
+void BM_FullLongStep(benchmark::State& state) {
+    auto& f = fixture(Layout::XZY);
+    for (auto _ : state) {
+        f.model.step();
+    }
+}
+BENCHMARK(BM_FullLongStep)->Unit(benchmark::kMillisecond);
+
+void BM_HaloExchangePeriodic(benchmark::State& state) {
+    auto& f = fixture(Layout::XZY);
+    for (auto _ : state) {
+        f.model.stepper().apply_state_bcs(f.model.state());
+    }
+}
+BENCHMARK(BM_HaloExchangePeriodic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace asuca
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Reproduces paper Sec. VII: projected performance of the GPU ASUCA on
+// TSUBAME 2.0 (4000+ Fermi GPUs, >= 4x per-GPU communication bandwidth).
+//
+// Two estimates are printed:
+//  (a) the paper's own extrapolation formula
+//        15 TFlops x (988 ms / 763 ms) x (4000 / 528) ~ 150 TFlops
+//      applied to OUR measured 528-GPU numbers, and
+//  (b) the step model evaluated directly on a TSUBAME 2.0 cluster spec
+//      with a 63x64 = 4032-GPU decomposition.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/cluster/step_model.hpp"
+
+using namespace asuca;
+using namespace asuca::bench;
+using namespace asuca::cluster;
+
+int main() {
+    title("Sec. VII — TSUBAME 2.0 projection");
+
+    // Baseline: TSUBAME 1.2, 528 GPUs.
+    StepModelConfig base;
+    base.decomp.px = 22;
+    base.decomp.py = 24;
+    const auto r528 = StepModel(calibration(), base).run();
+
+    // (a) the paper's extrapolation: communication completely hidden
+    // (total -> compute) and 4000/528 more GPUs.
+    const double paper_formula =
+        r528.tflops_total * (r528.total_s / r528.compute_s) * (4000.0 / 528.0);
+    std::printf("  (a) paper formula on our numbers: %.1f TFlops x (%.0f/%.0f)"
+                " x (4000/528) = %.0f TFlops   (paper: ~150)\n",
+                r528.tflops_total, r528.total_s * 1e3, r528.compute_s * 1e3,
+                paper_formula);
+
+    // (b) direct model with the Fermi cluster spec.
+    StepModelConfig t2;
+    t2.cluster = ClusterSpec::tsubame20();
+    t2.decomp.px = 63;
+    t2.decomp.py = 64;
+    const auto r4032 = StepModel(calibration(), t2).run();
+    std::printf("  (b) direct model, %lld Fermi GPUs (63x64, mesh "
+                "%lldx%lldx48): %.0f TFlops, step %.0f ms\n",
+                static_cast<long long>(t2.decomp.gpu_count()),
+                static_cast<long long>(t2.decomp.global_mesh().x),
+                static_cast<long long>(t2.decomp.global_mesh().y),
+                r4032.tflops_total, r4032.total_s * 1e3);
+    const double exposed =
+        r4032.total_s - r4032.compute_s;
+    const double comm = r4032.mpi_s + r4032.pcie_s;
+    std::printf("      communication hidden: %.0f %% (paper expects ~100%% "
+                "with 4x bandwidth)\n",
+                100.0 * (1.0 - exposed / comm));
+
+    title("Paper claim check");
+    std::printf("  projected > 100 TFlops in a mesoscale non-hydrostatic "
+                "model: %s\n",
+                (paper_formula > 100.0 && r4032.tflops_total > 100.0)
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

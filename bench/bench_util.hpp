@@ -1,0 +1,93 @@
+// Shared helpers for the figure/table reproduction benches: one cached
+// FLOP calibration (the PAPI substitute) and small table-printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/timer.hpp"
+#include "src/core/model.hpp"
+#include "src/gpusim/roofline.hpp"
+#include "src/instrument/calibration.hpp"
+
+namespace asuca::bench {
+
+/// One-step per-kernel FLOP counts of the benchmark configuration
+/// (mountain wave + warm rain, Sec. IV-B), calibrated once per binary.
+inline const CalibrationResult& calibration() {
+    static const CalibrationResult cal =
+        calibrate_flops(benchmark_model_config(), {16, 12, 12});
+    return cal;
+}
+
+/// Roofline model for a device/precision/layout combination.
+inline gpusim::RooflineModel make_model(const gpusim::DeviceSpec& dev,
+                                        Precision prec,
+                                        Layout layout = Layout::XZY,
+                                        bool shared_mem = true) {
+    gpusim::ExecutionOptions opt;
+    opt.precision = prec;
+    opt.layout = layout;
+    opt.shared_memory_tiling = shared_mem;
+    return gpusim::RooflineModel(dev, opt);
+}
+
+/// Modeled whole-step estimate on a mesh.
+inline gpusim::StepEstimate model_step_at(const gpusim::RooflineModel& model,
+                                          Int3 mesh) {
+    const double scale = static_cast<double>(mesh.volume()) /
+                         static_cast<double>(calibration().mesh.volume());
+    return gpusim::estimate_step(calibration().records, model, scale);
+}
+
+/// Run the real (double-precision) model for `steps` long steps on this
+/// host and return measured wall seconds per step.
+inline double measure_host_seconds_per_step(Int3 mesh, int steps = 1) {
+    ModelConfig<double> cfg;
+    const auto ref = benchmark_model_config();
+    cfg.grid = ref.grid;
+    cfg.grid.nx = mesh.x;
+    cfg.grid.ny = mesh.y;
+    cfg.grid.nz = mesh.z;
+    cfg.stepper = ref.stepper;
+    cfg.kessler = ref.kessler;
+    cfg.microphysics = ref.microphysics;
+    cfg.species = ref.species;
+    AsucaModel<double> model(cfg);
+    model.initialize(AtmosphereProfile::constant_n(300.0, 0.01), 10.0, 0.0);
+    set_relative_humidity(
+        model.grid(), [](double z) { return z < 2000.0 ? 0.6 : 0.2; },
+        model.state());
+    model.stepper().apply_state_bcs(model.state());
+    model.step();  // warm-up (first step touches cold memory)
+    Timer t;
+    t.start();
+    model.run(steps);
+    t.stop();
+    return t.seconds() / steps;
+}
+
+/// Measured GFlops of this host's CPU execution at a mesh (FLOPs from the
+/// calibration, scaled; time measured).
+inline double measure_host_gflops(Int3 mesh, int steps = 1) {
+    const double secs = measure_host_seconds_per_step(mesh, steps);
+    double flops = 0;
+    for (const auto& r : calibration().records) {
+        flops += static_cast<double>(r.flops);
+    }
+    flops *= static_cast<double>(mesh.volume()) /
+             static_cast<double>(calibration().mesh.volume());
+    return flops / secs / 1e9;
+}
+
+inline void title(const std::string& text) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", text.c_str());
+    std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+    std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace asuca::bench

@@ -1,0 +1,80 @@
+// GPU port planner: use the performance-model half of the library the way
+// the paper's Sec. IV/V/VII analysis does — decide layouts, predict
+// single-GPU throughput, and size a multi-GPU run before touching
+// hardware.
+//
+//   ./examples/gpu_port_planner [px py]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/cluster/step_model.hpp"
+#include "src/gpusim/launch.hpp"
+#include "src/instrument/calibration.hpp"
+
+using namespace asuca;
+using namespace asuca::gpusim;
+
+int main(int argc, char** argv) {
+    const Index px = argc > 1 ? std::atoll(argv[1]) : 8;
+    const Index py = argc > 2 ? std::atoll(argv[2]) : 8;
+
+    // 1. Measure the numerics: FLOPs per kernel, from the real code.
+    std::printf("calibrating kernel FLOP counts (CountingReal run)...\n");
+    const auto cal = calibrate_flops(benchmark_model_config(), {16, 12, 12});
+    std::printf("  %.0f FLOPs per element per long step, %zu kernels\n\n",
+                cal.flops_per_step_per_element, cal.records.size());
+
+    // 2. Pick launch configurations (paper Fig. 2) and check residency.
+    const auto dev = DeviceSpec::tesla_s1070();
+    const Int3 mesh{320, 256, 48};
+    const auto adv = advection_launch(mesh, sizeof(float));
+    std::printf("advection launch: (%lld,%lld,%lld) blocks x "
+                "(%lld,%lld,%lld) threads, %zu B shared/block, "
+                "occupancy %.2f\n",
+                (long long)adv.grid.x, (long long)adv.grid.y,
+                (long long)adv.grid.z, (long long)adv.block.x,
+                (long long)adv.block.y, (long long)adv.block.z,
+                adv.shared_bytes, occupancy(dev, adv));
+    const auto helm = helmholtz_launch(mesh);
+    std::printf("helmholtz launch: (%lld,%lld,%lld) blocks, marching %s, "
+                "occupancy %.2f\n\n",
+                (long long)helm.grid.x, (long long)helm.grid.y,
+                (long long)helm.grid.z,
+                helm.march == MarchAxis::Z ? "z" : "y",
+                occupancy(dev, helm));
+
+    // 3. Single-GPU prediction per layout: is the transpose worth it?
+    for (Layout layout : {Layout::XZY, Layout::ZXY}) {
+        ExecutionOptions opt;
+        opt.layout = layout;
+        RooflineModel model(dev, opt);
+        const double scale = static_cast<double>(mesh.volume()) /
+                             static_cast<double>(cal.mesh.volume());
+        const auto e = estimate_step(cal.records, model, scale);
+        std::printf("single GPU, %-10s: %7.1f ms/step, %6.1f GFlops\n",
+                    name_of(layout), e.seconds * 1e3, e.gflops);
+    }
+
+    // 4. Multi-GPU sizing with and without overlap.
+    cluster::StepModelConfig sm;
+    sm.decomp.px = px;
+    sm.decomp.py = py;
+    const auto over = cluster::StepModel(cal, sm).run();
+    sm.overlap = false;
+    sm.overlap_tracers = false;
+    sm.fuse_density_theta = false;
+    const auto non = cluster::StepModel(cal, sm).run();
+    const auto g = sm.decomp.global_mesh();
+    std::printf("\n%lld GPUs (%lldx%lld), global mesh %lldx%lldx%lld:\n",
+                (long long)sm.decomp.gpu_count(), (long long)px,
+                (long long)py, (long long)g.x, (long long)g.y,
+                (long long)g.z);
+    std::printf("  overlap:     %7.0f ms/step, %6.2f TFlops\n",
+                over.total_s * 1e3, over.tflops_total);
+    std::printf("  no overlap:  %7.0f ms/step, %6.2f TFlops\n",
+                non.total_s * 1e3, non.tflops_total);
+    std::printf("  overlapping hides %.0f%% of the communication\n",
+                100.0 * (1.0 - (over.total_s - over.compute_s) /
+                                   (over.mpi_s + over.pcie_s)));
+    return 0;
+}

@@ -1,0 +1,70 @@
+// 2-D (x, y) domain decomposition (paper Sec. V: "We decompose the given
+// grid in both the x and y directions (2D decomposition) and allocate each
+// sub domain to a single GPU. Since the z dimension is relatively small
+// ... each GPU is responsible for all the elements in the z direction.")
+//
+// The paper's Table I mesh sizes follow the rule
+//
+//     global_n = P * local_n - 2*halo * (P - 1),     halo = 2,
+//
+// i.e. neighboring subdomains share a 2*halo-deep overlap; this reproduces
+// every row of Table I exactly (e.g. 22x24 GPUs with 320x256x48 local
+// gives 6956 x 6052 x 48).
+#pragma once
+
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+
+namespace asuca::cluster {
+
+struct Decomp2D {
+    Index px = 1;        ///< ranks along x
+    Index py = 1;        ///< ranks along y
+    Int3 local{320, 256, 48};  ///< per-GPU mesh (paper's max on 4 GB)
+    Index halo = 2;      ///< exchanged halo depth
+
+    Index gpu_count() const { return px * py; }
+
+    /// Global mesh implied by the overlap rule above (paper Table I).
+    Int3 global_mesh() const {
+        return {px * local.x - 2 * halo * (px - 1),
+                py * local.y - 2 * halo * (py - 1), local.z};
+    }
+
+    /// Neighbor count of the worst-placed (interior) rank.
+    int max_neighbors() const {
+        return (px > 1 ? 2 : 0) + (py > 1 ? 2 : 0);
+    }
+
+    /// Bytes of one x-direction halo strip (one side) for one variable.
+    double x_halo_bytes(std::size_t elem_bytes) const {
+        return static_cast<double>(halo * local.y * local.z) *
+               static_cast<double>(elem_bytes);
+    }
+    /// Bytes of one y-direction halo strip (one side) for one variable.
+    /// y halos are contiguous in the xzy layout (paper Sec. IV-A-1).
+    double y_halo_bytes(std::size_t elem_bytes) const {
+        return static_cast<double>(halo * local.x * local.z) *
+               static_cast<double>(elem_bytes);
+    }
+};
+
+/// The 14 GPU configurations of the paper's Table I.
+inline std::vector<Decomp2D> table1_configs() {
+    const Index pairs[][2] = {{2, 3},   {4, 5},   {6, 9},   {8, 10},
+                              {10, 12}, {12, 14}, {12, 16}, {14, 18},
+                              {16, 20}, {18, 20}, {18, 22}, {20, 22},
+                              {20, 24}, {22, 24}};
+    std::vector<Decomp2D> out;
+    for (const auto& p : pairs) {
+        Decomp2D d;
+        d.px = p[0];
+        d.py = p[1];
+        out.push_back(d);
+    }
+    return out;
+}
+
+}  // namespace asuca::cluster

@@ -1,0 +1,414 @@
+// Multi-GPU step model: builds the task graph of one long time step on one
+// (worst-placed) rank and schedules it on the gpusim::Timeline, with the
+// paper's three communication-hiding optimizations individually
+// toggleable (Sec. V-A):
+//
+//   method 1 — inter-variable pipelining of the water-substance advection
+//              (Fig. 7): a tracer's halo exchange overlaps the next
+//              tracer's advection kernel;
+//   method 2 — kernel division into y-boundary / x-boundary / inner parts
+//              (Fig. 8): boundary strips compute first, their exchange
+//              overlaps the inner-domain kernel;
+//   method 3 — logical fusion of the density and potential-temperature
+//              kernels, hiding the density exchange (whose kernel is too
+//              short to hide it alone) behind the theta compute window.
+//
+// Kernel durations come from the paper's Eq.-(6) roofline model fed with
+// FLOP counts measured on the real numerics (CalibrationResult); strip
+// kernels run at reduced occupancy, which reproduces the paper's
+// observation that divided kernels cost more compute than the single
+// kernel (Fig. 9) while still winning overall.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/decomp.hpp"
+#include "src/cluster/topology.hpp"
+#include "src/gpusim/roofline.hpp"
+#include "src/gpusim/timeline.hpp"
+#include "src/instrument/calibration.hpp"
+
+namespace asuca::cluster {
+
+struct StepModelConfig {
+    ClusterSpec cluster = ClusterSpec::tsubame12();
+    gpusim::ExecutionOptions exec;
+    Decomp2D decomp;
+    bool overlap = true;           ///< method 2 (kernel division)
+    bool overlap_tracers = true;   ///< method 1 (inter-variable)
+    bool fuse_density_theta = true;///< method 3 (logical fusion)
+};
+
+/// One row of the paper's Fig. 9 (totals over one long step).
+struct VariableBreakdown {
+    std::string name;
+    double whole_s = 0;       ///< single (undivided) kernel time
+    double inner_s = 0;       ///< divided: inner domain
+    double boundary_y_s = 0;  ///< divided: y boundary strips
+    double boundary_x_s = 0;  ///< divided: x boundary strips (+pack/unpack)
+    double d2h_s = 0;
+    double mpi_s = 0;
+    double h2d_s = 0;
+    double comm_s() const { return d2h_s + mpi_s + h2d_s; }
+};
+
+/// Totals of one long step (the paper's Fig. 11 bars).
+struct StepResult {
+    double total_s = 0;
+    double compute_s = 0;  ///< GPU execution engine busy time
+    double mpi_s = 0;      ///< network busy time
+    double pcie_s = 0;     ///< copy engine busy time
+    double flops_per_gpu = 0;
+    double gflops_per_gpu = 0;
+    double tflops_total = 0;
+    std::vector<VariableBreakdown> short_step_rows;
+};
+
+class StepModel {
+  public:
+    StepModel(const CalibrationResult& calibration, StepModelConfig config)
+        : cfg_(std::move(config)),
+          model_(cfg_.cluster.gpu, cfg_.exec),
+          calib_volume_(static_cast<double>(calibration.mesh.volume())) {
+        for (const auto& rec : calibration.records) {
+            records_[rec.name] = rec;
+        }
+    }
+
+    StepResult run() const {
+        gpusim::Timeline tl;
+        const auto EXEC = tl.add_resource("gpu_exec");
+        const auto COPY = tl.add_resource("copy_engine");
+        const auto NET = tl.add_resource("network");
+
+        std::map<std::string, VariableBreakdown> rows;
+        const int stages = 3;
+        const int substeps_total = substep_count();
+        double long_time = long_compute_seconds();
+
+        gpusim::TaskId last_exchange_end = -1;
+        for (int stage = 0; stage < stages; ++stage) {
+            // Long-step halo refresh of the five dynamic variables
+            // (blocking, not overlapped — the paper overlaps only the
+            // listed pieces).
+            gpusim::TaskId prev = last_exchange_end;
+            for (int v = 0; v < 5; ++v) {
+                prev = add_exchange_chain(tl, COPY, NET, 1, prev, nullptr);
+            }
+            // Slow-tendency kernels of this stage (one aggregate task).
+            std::vector<gpusim::TaskId> dep0;
+            if (prev >= 0) dep0.push_back(prev);
+            auto long_task = tl.add_task("long_compute", EXEC,
+                                         long_time / stages, dep0);
+            // Tracer advection, method 1: each tracer's exchange overlaps
+            // the next tracer's kernel.
+            gpusim::TaskId prev_kernel = long_task;
+            gpusim::TaskId prev_tracer_exchange = -1;
+            for (const auto& name : tracer_kernels()) {
+                std::vector<gpusim::TaskId> deps = {prev_kernel};
+                if (!cfg_.overlap_tracers && prev_tracer_exchange >= 0) {
+                    deps.push_back(prev_tracer_exchange);
+                }
+                auto k = tl.add_task("tracer:" + name, EXEC,
+                                     kernel_time(name, 1.0) / stages, deps);
+                prev_tracer_exchange =
+                    add_exchange_chain(tl, COPY, NET, 1, k, nullptr);
+                prev_kernel = k;
+            }
+
+            // Acoustic substeps of this stage.
+            const int ns = substeps_per_stage(stage, substeps_total);
+            for (int n = 0; n < ns; ++n) {
+                last_exchange_end = add_substep(tl, EXEC, COPY, NET,
+                                                prev_kernel, rows);
+                prev_kernel = last_exchange_end;
+            }
+        }
+
+        const double makespan = tl.run();
+
+        StepResult r;
+        r.total_s = makespan;
+        r.compute_s = tl.resource_busy(0);
+        r.pcie_s = tl.resource_busy(1);
+        r.mpi_s = tl.resource_busy(2);
+        r.flops_per_gpu = step_flops();
+        r.gflops_per_gpu = r.flops_per_gpu / makespan / 1e9;
+        r.tflops_total = r.gflops_per_gpu *
+                         static_cast<double>(cfg_.decomp.gpu_count()) / 1e3;
+        for (auto& [_, row] : rows) r.short_step_rows.push_back(row);
+        return r;
+    }
+
+    /// Total modeled FLOPs of one step on the local mesh.
+    double step_flops() const {
+        double total = 0;
+        for (const auto& [_, rec] : records_) {
+            total += static_cast<double>(rec.flops) * volume_scale();
+        }
+        return total;
+    }
+
+    const gpusim::RooflineModel& roofline() const { return model_; }
+
+    /// Per-call modeled time of a kernel on `fraction` of the local mesh.
+    double kernel_time(const std::string& name, double fraction) const {
+        auto it = records_.find(name);
+        if (it == records_.end()) return 0.0;
+        const auto& rec = it->second;
+        const double elems_per_call =
+            static_cast<double>(rec.elements) /
+            static_cast<double>(std::max<std::uint64_t>(1, rec.calls)) *
+            volume_scale() * fraction;
+        return model_
+            .estimate(name, rec.traits, elems_per_call,
+                      rec.flops_per_element())
+            .seconds;
+    }
+
+    int substep_count() const {
+        auto it = records_.find("pgf_x_short");
+        return it == records_.end()
+                   ? 0
+                   : static_cast<int>(it->second.calls);
+    }
+
+  private:
+    double volume_scale() const {
+        return static_cast<double>(cfg_.decomp.local.volume()) /
+               calib_volume_;
+    }
+
+    static int substeps_per_stage(int stage, int total) {
+        // Stage fractions 1/3, 1/2, 1 of the paper's RK3: distribute the
+        // recorded substep count proportionally (matching the stepper).
+        const double f[3] = {1.0 / 3.0, 0.5, 1.0};
+        const double denom = f[0] + f[1] + f[2];
+        int n = std::max(1, static_cast<int>(std::lround(
+                                total * f[stage] / denom)));
+        return n;
+    }
+
+    /// Kernels in the long (slow) phase, excluding tracer advection.
+    double long_compute_seconds() const {
+        double t = 0;
+        for (const auto& [name, rec] : records_) {
+            if (is_short_step_kernel(name) || is_tracer_kernel(name)) {
+                continue;
+            }
+            t += kernel_time(name, 1.0) * static_cast<double>(rec.calls);
+        }
+        return t;
+    }
+
+    static bool is_short_step_kernel(const std::string& n) {
+        return n == "pgf_x_short" || n == "pgf_y_short" ||
+               n == "helmholtz_1d" || n == "continuity_update" ||
+               n == "theta_update" || n == "theta_update_half" ||
+               n == "pressure_update";
+    }
+    static bool is_tracer_kernel(const std::string& n) {
+        return n.rfind("advection_q", 0) == 0;
+    }
+    std::vector<std::string> tracer_kernels() const {
+        std::vector<std::string> out;
+        for (const auto& [name, _] : records_) {
+            if (is_tracer_kernel(name)) out.push_back(name);
+        }
+        return out;
+    }
+
+    /// Boundary strips and interior fractions of the local mesh.
+    double y_strip_fraction() const {
+        const auto& d = cfg_.decomp;
+        return static_cast<double>(2 * d.halo) /
+               static_cast<double>(d.local.y) * y_sides() / 2.0;
+    }
+    double x_strip_fraction() const {
+        const auto& d = cfg_.decomp;
+        return static_cast<double>(2 * d.halo) /
+               static_cast<double>(d.local.x) * x_sides() / 2.0;
+    }
+    double inner_fraction() const {
+        return std::max(0.0, 1.0 - x_strip_fraction() - y_strip_fraction());
+    }
+    double x_sides() const {
+        return cfg_.decomp.px >= 3 ? 2.0 : (cfg_.decomp.px == 2 ? 1.0 : 0.0);
+    }
+    double y_sides() const {
+        return cfg_.decomp.py >= 3 ? 2.0 : (cfg_.decomp.py == 2 ? 1.0 : 0.0);
+    }
+
+    enum class Sides { XY, XOnly, YOnly };
+
+    /// Halo bytes (one direction: device->host or host->device) for
+    /// `fields` variables over the selected boundary families.
+    double halo_bytes(int fields, Sides which) const {
+        const std::size_t eb = bytes_of(cfg_.exec.precision);
+        double b = 0;
+        if (which != Sides::YOnly) {
+            b += cfg_.decomp.x_halo_bytes(eb) * x_sides();
+        }
+        if (which != Sides::XOnly) {
+            b += cfg_.decomp.y_halo_bytes(eb) * y_sides();
+        }
+        return b * fields;
+    }
+
+    double d2h_seconds(int fields, Sides which) const {
+        const double bytes = halo_bytes(fields, which);
+        if (bytes == 0) return 0;
+        return bytes / (cfg_.cluster.pcie_eff_gbs * 1e9) +
+               cfg_.cluster.pcie_latency_s;
+    }
+    double mpi_seconds(int fields, Sides which) const {
+        // Send + receive per active side.
+        const double bytes = 2.0 * halo_bytes(fields, which);
+        if (bytes == 0) return 0;
+        return bytes / (cfg_.cluster.mpi_eff_gbs * 1e9) +
+               cfg_.cluster.mpi_latency_s;
+    }
+
+    /// Append d2h -> MPI -> h2d for `fields` variables; returns the h2d id.
+    gpusim::TaskId add_exchange_chain(gpusim::Timeline& tl,
+                                      gpusim::ResourceId copy,
+                                      gpusim::ResourceId net, int fields,
+                                      gpusim::TaskId dep,
+                                      VariableBreakdown* row,
+                                      Sides which = Sides::XY) const {
+        std::vector<gpusim::TaskId> deps;
+        if (dep >= 0) deps.push_back(dep);
+        const double t_d2h = d2h_seconds(fields, which);
+        const double t_mpi = mpi_seconds(fields, which);
+        auto d2h = tl.add_task("d2h", copy, t_d2h, deps);
+        auto mpi = tl.add_task("mpi", net, t_mpi, {d2h});
+        auto h2d = tl.add_task("h2d", copy, t_d2h, {mpi});
+        if (row != nullptr) {
+            row->d2h_s += t_d2h;
+            row->mpi_s += t_mpi;
+            row->h2d_s += t_d2h;
+        }
+        return h2d;
+    }
+
+    struct ShortVar {
+        std::string name;
+        std::vector<std::string> kernels;
+        int fields;
+        bool needs_prev_exchange;  ///< stencil reads the previous
+                                   ///< variable's fresh halos
+    };
+
+    std::vector<ShortVar> short_vars() const {
+        std::vector<ShortVar> v = {
+            {"Momentum (x)", {"pgf_x_short"}, 1, false},
+            {"Momentum (y)", {"pgf_y_short"}, 1, false},
+            {"Helmholtz-like eq.", {"helmholtz_1d"}, 1, true},
+        };
+        if (cfg_.fuse_density_theta) {
+            v.push_back({"Density + Potential temperature (fused)",
+                         {"continuity_update", "theta_update",
+                          "theta_update_half", "pressure_update"},
+                         4, false});
+        } else {
+            v.push_back({"Density", {"continuity_update"}, 1, false});
+            v.push_back({"Potential temperature",
+                         {"theta_update", "theta_update_half",
+                          "pressure_update"},
+                         3, false});
+        }
+        return v;
+    }
+
+    /// One acoustic substep: per variable either the single-kernel serial
+    /// program or the divided overlap program of Fig. 8. Returns the task
+    /// the next substep must wait on.
+    gpusim::TaskId add_substep(gpusim::Timeline& tl, gpusim::ResourceId exec,
+                               gpusim::ResourceId copy, gpusim::ResourceId net,
+                               gpusim::TaskId entry_dep,
+                               std::map<std::string, VariableBreakdown>& rows)
+        const {
+        gpusim::TaskId prev_exchange = entry_dep;
+        gpusim::TaskId last = entry_dep;
+        for (const auto& var : short_vars()) {
+            auto& row = rows[var.name];
+            row.name = var.name;
+
+            double t_whole = 0, t_inner = 0, t_yb = 0, t_xb = 0;
+            for (const auto& k : var.kernels) {
+                t_whole += kernel_time(k, 1.0);
+                t_inner += kernel_time(k, inner_fraction());
+                t_yb += kernel_time(k, y_strip_fraction());
+                t_xb += kernel_time(k, x_strip_fraction());
+            }
+            row.whole_s += t_whole;
+
+            std::vector<gpusim::TaskId> deps;
+            if (var.needs_prev_exchange && prev_exchange >= 0) {
+                deps.push_back(prev_exchange);
+            } else if (last >= 0) {
+                deps.push_back(last);
+            }
+
+            if (!cfg_.overlap) {
+                // Single kernel, then the exchange. Computation and
+                // communication are serial (the paper's non-overlapping
+                // method), but the y- and x-direction legs still pipeline
+                // against each other on the copy/network engines — the
+                // basic async machinery exists in both variants.
+                auto k = tl.add_task(var.name + ":whole", exec, t_whole,
+                                     deps);
+                auto ey = add_exchange_chain(tl, copy, net, var.fields, k,
+                                             &row, Sides::YOnly);
+                auto ex = add_exchange_chain(tl, copy, net, var.fields, k,
+                                             &row, Sides::XOnly);
+                auto done = tl.add_task(var.name + ":sync", exec, 0.0,
+                                        {ey, ex});
+                prev_exchange = done;
+                last = done;
+                continue;
+            }
+
+            // Fig. 8 program. Pack/unpack of the x strips are extra copy
+            // kernels on the GPU (operations (3) and (7)).
+            const double t_pack = pack_seconds(var.fields);
+            row.inner_s += t_inner;
+            row.boundary_y_s += t_yb;
+            row.boundary_x_s += t_xb + 2 * t_pack;
+
+            auto yb = tl.add_task(var.name + ":yb", exec, t_yb, deps);
+            auto exch_y = add_exchange_chain(tl, copy, net, var.fields, yb,
+                                             &row, Sides::YOnly);
+            auto xb = tl.add_task(var.name + ":xb", exec, t_xb, {yb});
+            auto pack = tl.add_task(var.name + ":pack", exec, t_pack, {xb});
+            auto inner =
+                tl.add_task(var.name + ":inner", exec, t_inner, {pack});
+            auto exch_x = add_exchange_chain(tl, copy, net, var.fields,
+                                             pack, &row, Sides::XOnly);
+            auto unpack = tl.add_task(var.name + ":unpack", exec, t_pack,
+                                      {inner, exch_x, exch_y});
+            prev_exchange = unpack;
+            last = unpack;
+        }
+        return last;
+    }
+
+    /// GPU-side gather of the x-boundary strips into a contiguous buffer
+    /// (device-memory copy at effective bandwidth).
+    double pack_seconds(int fields) const {
+        const std::size_t eb = bytes_of(cfg_.exec.precision);
+        const double bytes =
+            2.0 * cfg_.decomp.x_halo_bytes(eb) * x_sides() * fields;
+        return bytes / (model_.effective_bandwidth() * 1e9);
+    }
+
+    StepModelConfig cfg_;
+    gpusim::RooflineModel model_;
+    double calib_volume_;
+    std::map<std::string, KernelRecord> records_;
+};
+
+}  // namespace asuca::cluster

@@ -1,0 +1,56 @@
+// Cluster description: GPUs per node, host links, interconnect.
+//
+// TSUBAME 1.2 (paper Sec. III, V-B): Sun Fire X4600 nodes, two Tesla
+// S1070 GPUs per node over PCI-Express Gen1 x8, dual-rail SDR InfiniBand
+// (2 GB/s peak) between nodes. The paper measures 438 MB/s effective
+// MPI bandwidth between neighbors (Fig. 9 discussion) — we adopt the
+// measured value, not the peak. TSUBAME 2.0 (Sec. VII): three Fermi GPUs
+// per node, QDR InfiniBand; the paper assumes >= 4x the per-GPU
+// communication bandwidth.
+#pragma once
+
+#include "src/gpusim/device.hpp"
+
+namespace asuca::cluster {
+
+struct ClusterSpec {
+    gpusim::DeviceSpec gpu = gpusim::DeviceSpec::tesla_s1070();
+    int gpus_per_node = 2;
+    /// Effective host<->device bandwidth for async strided halo staging
+    /// [GB/s] (PCIe Gen1 x8 peaks at 2 GB/s; small strided transfers
+    /// achieve less).
+    double pcie_eff_gbs = 1.1;
+    double pcie_latency_s = 1.5e-5;
+    /// Effective per-neighbor MPI bandwidth [GB/s] (the paper's measured
+    /// 438 MB/s).
+    double mpi_eff_gbs = 0.438;
+    double mpi_latency_s = 4.0e-5;
+
+    static ClusterSpec tsubame12() { return ClusterSpec{}; }
+
+    static ClusterSpec tsubame20() {
+        ClusterSpec c;
+        c.gpu = gpusim::DeviceSpec::fermi_m2050();
+        c.gpus_per_node = 3;
+        // Paper Sec. VII: "each GPU of TSUBAME 2.0 will be able to use
+        // more than four times the bandwidth of each GPU on TSUBAME 1.2".
+        c.pcie_eff_gbs = 4.0 * 1.1;   // PCIe Gen2 x16
+        c.mpi_eff_gbs = 4.0 * 0.438;  // dual-rail QDR InfiniBand
+        c.mpi_latency_s = 2.0e-5;
+        c.pcie_latency_s = 1.0e-5;
+        return c;
+    }
+
+    /// A CPU-only view of the same machine for the paper's CPU reference
+    /// line (Fig. 10): one Opteron core per "GPU slot", MPI only.
+    static ClusterSpec tsubame12_cpu() {
+        ClusterSpec c;
+        c.gpu = gpusim::DeviceSpec::opteron_core();
+        c.gpus_per_node = 16;  // 16 cores per X4600 node
+        c.pcie_eff_gbs = 2.0;  // host memory copies, effectively free-ish
+        c.pcie_latency_s = 0.0;
+        return c;
+    }
+};
+
+}  // namespace asuca::cluster

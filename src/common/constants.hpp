@@ -1,0 +1,50 @@
+// Physical and thermodynamic constants used by the ASUCA dycore and the
+// Kessler warm-rain scheme. Values follow the JMA-NHM conventions cited by
+// the paper (Saito et al. 2006; Ikawa & Saito 1991).
+#pragma once
+
+namespace asuca::constants {
+
+/// Gravitational acceleration [m s^-2].
+inline constexpr double g = 9.80665;
+
+/// Gas constant for dry air [J kg^-1 K^-1].
+inline constexpr double Rd = 287.04;
+
+/// Gas constant for water vapor [J kg^-1 K^-1].
+inline constexpr double Rv = 461.50;
+
+/// Specific heat of dry air at constant pressure [J kg^-1 K^-1].
+inline constexpr double cpd = 1004.67;
+
+/// Specific heat of dry air at constant volume [J kg^-1 K^-1].
+inline constexpr double cvd = cpd - Rd;
+
+/// Reference pressure for the Exner function [Pa].
+inline constexpr double p00 = 1.0e5;
+
+/// cp/cv for dry air (ratio of specific heats).
+inline constexpr double gamma_d = cpd / cvd;
+
+/// Rd/cp, exponent of the Exner function.
+inline constexpr double kappa = Rd / cpd;
+
+/// epsilon in the paper's theta_m definition: ratio Rv/Rd (~1.608).
+inline constexpr double eps_vd = Rv / Rd;
+
+/// Latent heat of vaporization at 0 C [J kg^-1].
+inline constexpr double Lv = 2.501e6;
+
+/// Triple-point temperature [K], reference for the Tetens formula.
+inline constexpr double T0 = 273.15;
+
+/// Tetens saturation vapor pressure constants (over liquid water):
+/// e_s(T) = es0 * exp(tetens_a * (T - T0) / (T - tetens_b)).
+inline constexpr double es0 = 610.78;       // [Pa]
+inline constexpr double tetens_a = 17.269;  // [-]
+inline constexpr double tetens_b = 35.86;   // [K]
+
+/// Earth angular velocity [rad s^-1] for the Coriolis parameter.
+inline constexpr double omega_earth = 7.292e-5;
+
+}  // namespace asuca::constants

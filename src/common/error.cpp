@@ -1,0 +1,22 @@
+#include "src/common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace asuca::detail {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+    std::ostringstream oss;
+    oss << file << ":" << line << ": " << msg;
+    throw Error(oss.str());
+}
+
+void assert_fail(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+    std::fprintf(stderr, "ASUCA_ASSERT failed at %s:%d: (%s) %s\n", file,
+                 line, expr, msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace asuca::detail

@@ -1,0 +1,52 @@
+// Error handling: a project exception type plus check macros.
+//
+// Per the C++ Core Guidelines (E.2, E.3) errors that a caller can react to
+// are reported by throwing; programming errors (violated preconditions in
+// internal code) abort via ASUCA_ASSERT in debug-friendly form.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace asuca {
+
+/// Exception thrown for recoverable / user-facing failures (bad config,
+/// malformed grid sizes, I/O failures).
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+[[noreturn]] void assert_fail(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace asuca
+
+/// Throw asuca::Error when `cond` is false. `msg_expr` is streamed, so
+/// `ASUCA_REQUIRE(n > 0, "bad n: " << n)` works.
+#define ASUCA_REQUIRE(cond, msg_expr)                                     \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::ostringstream asuca_oss_;                                \
+            asuca_oss_ << msg_expr;                                       \
+            ::asuca::detail::throw_error(__FILE__, __LINE__,              \
+                                         asuca_oss_.str());               \
+        }                                                                 \
+    } while (0)
+
+/// Internal invariant check. Active in all build types: the cost is
+/// negligible outside inner loops, and silent corruption in a weather model
+/// is worse than an abort.
+#define ASUCA_ASSERT(cond, msg_expr)                                      \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::ostringstream asuca_oss_;                                \
+            asuca_oss_ << msg_expr;                                       \
+            ::asuca::detail::assert_fail(__FILE__, __LINE__, #cond,       \
+                                         asuca_oss_.str());               \
+        }                                                                 \
+    } while (0)

@@ -1,0 +1,44 @@
+// Wall-clock timing utilities used by benchmarks and the CPU baseline
+// measurements (the paper times one long integration step).
+#pragma once
+
+#include <chrono>
+
+namespace asuca {
+
+/// Monotonic wall-clock timer with start/stop accumulation.
+class Timer {
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    void start() { start_ = Clock::now(); running_ = true; }
+
+    /// Stop and add the elapsed interval to the accumulated total.
+    void stop() {
+        if (running_) {
+            accumulated_ += Clock::now() - start_;
+            running_ = false;
+        }
+    }
+
+    void reset() {
+        accumulated_ = Clock::duration::zero();
+        running_ = false;
+    }
+
+    /// Accumulated time in seconds (includes the running interval, if any).
+    double seconds() const {
+        auto total = accumulated_;
+        if (running_) total += Clock::now() - start_;
+        return std::chrono::duration<double>(total).count();
+    }
+
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    Clock::time_point start_{};
+    Clock::duration accumulated_{Clock::duration::zero()};
+    bool running_ = false;
+};
+
+}  // namespace asuca

@@ -1,0 +1,540 @@
+// HE-VI acoustic (short time step) integrator — the fast-mode core of the
+// time-splitting scheme (paper Sec. II and IV-A-3).
+//
+// Within each Wicker–Skamarock RK3 stage the acoustic subsystem is
+// integrated with small steps dtau. Deviations (primes) about the RK-stage
+// linearization state evolve under:
+//
+//   d U'/dtau   = -dx p'|z + S_U                (horizontal: explicit RK2)
+//   d V'/dtau   = -dy p'|z + S_V
+//   d W'/dtau   = -(1/J) dzeta p' - g rho'|zf + S_W   (vertical: implicit)
+//   d rho'/dtau = -(1/J) div(J u rho)'         (continuity of deviations)
+//   d Th'/dtau  = -(1/J) div(J u rho theta)' + S_Th   (theta_m, linearized
+//                                                      with frozen face theta)
+//   p' = (dp/d(rho theta))|bar * Th'           (linearized EOS)
+//
+// Eliminating p' and rho' from the implicit W' equation yields one
+// tridiagonal ("1D Helmholtz-like elliptic", paper Fig. 5 kernel (4))
+// system per vertical column, solved with the Thomas algorithm; columns
+// are independent across the xy plane, which is exactly the parallelism
+// the paper's GPU kernel exploits (Fig. 2b).
+//
+// The off-centering parameter beta (0.5 = centered, >0.5 damps acoustic
+// noise) weights the implicit terms.
+#pragma once
+
+#include <vector>
+
+#include "src/common/constants.hpp"
+#include "src/core/boundary.hpp"
+#include "src/core/eos.hpp"
+#include "src/core/pgf.hpp"
+#include "src/core/state.hpp"
+#include "src/core/tendencies.hpp"
+#include "src/core/tridiagonal.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/grid/grid.hpp"
+#include "src/instrument/kernel_registry.hpp"
+
+namespace asuca {
+
+struct AcousticConfig {
+    double beta = 0.6;  ///< implicit off-centering (0.5..1)
+};
+
+template <class T>
+class AcousticStepper {
+  public:
+    AcousticStepper(const Grid<T>& grid, const AcousticConfig& config)
+        : grid_(grid), cfg_(config),
+          cpt_(center_shape(grid), grid.halo(), grid.layout()),
+          thf_x_({grid.nx() + 1, grid.ny(), grid.nz()}, grid.halo(),
+                 grid.layout()),
+          thf_y_({grid.nx(), grid.ny() + 1, grid.nz()}, grid.halo(),
+                 grid.layout()),
+          thf_z_({grid.nx(), grid.ny(), grid.nz() + 1}, grid.halo(),
+                 grid.layout()),
+          du_({grid.nx() + 1, grid.ny(), grid.nz()}, grid.halo(),
+              grid.layout()),
+          dv_({grid.nx(), grid.ny() + 1, grid.nz()}, grid.halo(),
+              grid.layout()),
+          dw_({grid.nx(), grid.ny(), grid.nz() + 1}, grid.halo(),
+              grid.layout()),
+          drho_(center_shape(grid), grid.halo(), grid.layout()),
+          dth_(center_shape(grid), grid.halo(), grid.layout()),
+          dp_(center_shape(grid), grid.halo(), grid.layout()),
+          dp_half_(center_shape(grid), grid.halo(), grid.layout()),
+          tend_u_({grid.nx() + 1, grid.ny(), grid.nz()}, grid.halo(),
+                  grid.layout()),
+          tend_v_({grid.nx(), grid.ny() + 1, grid.nz()}, grid.halo(),
+                  grid.layout()),
+          cv3_(center_shape(grid), grid.halo(), grid.layout()),
+          rv3_(center_shape(grid), grid.halo(), grid.layout()),
+          dv3_(center_shape(grid), grid.halo(), grid.layout()) {
+        ASUCA_REQUIRE(config.beta >= 0.5 && config.beta <= 1.0,
+                      "acoustic beta must be in [0.5, 1], got "
+                          << config.beta);
+    }
+
+    /// Freeze the linearization coefficients at the RK-stage state.
+    void prepare(const State<T>& bar) {
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        const Index h = grid_.halo();
+        KernelScope scope("acoustic_prepare", {/*reads=*/3, /*writes=*/4, 2},
+                          static_cast<std::uint64_t>(nx * ny * nz));
+        auto theta = [&](Index i, Index j, Index k) {
+            return bar.rhotheta(i, j, k) / bar.rho(i, j, k);
+        };
+        for (Index j = -h + 1; j < ny + h - 1; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                for (Index i = -h + 1; i < nx + h - 1; ++i) {
+                    cpt_(i, j, k) =
+                        eos_dp_drhotheta(bar.p(i, j, k), bar.rhotheta(i, j, k));
+                }
+            }
+        }
+        for (Index j = -h + 1; j < ny + h - 1; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                for (Index i = -h + 2; i < nx + h - 1; ++i) {
+                    thf_x_(i, j, k) =
+                        T(0.5) * (theta(i - 1, j, k) + theta(i, j, k));
+                }
+            }
+        }
+        for (Index j = -h + 2; j < ny + h - 1; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                for (Index i = -h + 1; i < nx + h - 1; ++i) {
+                    thf_y_(i, j, k) =
+                        T(0.5) * (theta(i, j - 1, k) + theta(i, j, k));
+                }
+            }
+        }
+        for (Index j = -h + 1; j < ny + h - 1; ++j) {
+            for (Index k = 0; k <= nz; ++k) {
+                const Index km = k > 0 ? k - 1 : 0;
+                const Index kc = k < nz ? k : nz - 1;
+                for (Index i = -h + 1; i < nx + h - 1; ++i) {
+                    thf_z_(i, j, k) =
+                        T(0.5) * (theta(i, j, km) + theta(i, j, kc));
+                }
+            }
+        }
+    }
+
+    /// Deviations at the start of the stage: current state minus the
+    /// linearization state (zero on the first RK stage).
+    void init_deviations(const State<T>& now, const State<T>& bar) {
+        diff_into(now.rhou, bar.rhou, du_);
+        diff_into(now.rhov, bar.rhov, dv_);
+        diff_into(now.rhow, bar.rhow, dw_);
+        diff_into(now.rho, bar.rho, drho_);
+        diff_into(now.rhotheta, bar.rhotheta, dth_);
+        const Index h = grid_.halo();
+        for (Index j = -h; j < grid_.ny() + h; ++j)
+            for (Index k = 0; k < grid_.nz(); ++k)
+                for (Index i = -h; i < grid_.nx() + h; ++i)
+                    dp_(i, j, k) = cpt_(i, j, k) * dth_(i, j, k);
+    }
+
+    /// Advance the deviations by one acoustic substep of length dtau.
+    /// Single-domain path: halos between phases are filled by the lateral
+    /// BC. Multi-domain runners call the three phases directly and perform
+    /// real halo exchanges in between (the paper's per-short-step MPI
+    /// exchanges of momentum and potential temperature, Sec. V-A).
+    void substep(const Tendencies<T>& slow, double dtau, LateralBc bc) {
+        phase_theta_half(slow, dtau);
+        apply_lateral_bc(dp_half_, bc, grid_.nx(), grid_.ny());
+        phase_horizontal_momentum(slow, dtau);
+        apply_lateral_bc(du_, bc, grid_.nx(), grid_.ny());
+        apply_lateral_bc(dv_, bc, grid_.nx(), grid_.ny());
+        phase_bottom_kinematic();
+        phase_vertical_implicit(slow, dtau);
+        apply_bcs(bc);
+    }
+
+    /// Reconstruct the full state: out = bar + deviations, with the full
+    /// (nonlinear) EOS pressure diagnostic.
+    void finalize(const State<T>& bar, State<T>& out) const {
+        sum_into(bar.rhou, du_, out.rhou);
+        sum_into(bar.rhov, dv_, out.rhov);
+        sum_into(bar.rhow, dw_, out.rhow);
+        sum_into(bar.rho, drho_, out.rho);
+        sum_into(bar.rhotheta, dth_, out.rhotheta);
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        KernelScope scope("eos_pressure", {/*reads=*/1, /*writes=*/1, 0},
+                          static_cast<std::uint64_t>(nx * ny * nz));
+        for (Index j = 0; j < ny; ++j)
+            for (Index k = 0; k < nz; ++k)
+                for (Index i = 0; i < nx; ++i)
+                    out.p(i, j, k) = eos_pressure(out.rhotheta(i, j, k));
+    }
+
+    /// Deviation accessors. Mutable access is for multi-domain halo
+    /// exchangers, which overwrite halo strips between phases.
+    const Array3<T>& dw() const { return dw_; }
+    const Array3<T>& drho() const { return drho_; }
+    Array3<T>& du() { return du_; }
+    Array3<T>& dv() { return dv_; }
+    Array3<T>& dw() { return dw_; }
+    Array3<T>& drho() { return drho_; }
+    Array3<T>& dth() { return dth_; }
+    Array3<T>& dp() { return dp_; }
+    Array3<T>& dp_half() { return dp_half_; }
+
+  private:
+    static Int3 center_shape(const Grid<T>& g) {
+        return {g.nx(), g.ny(), g.nz()};
+    }
+
+    template <class A>
+    static void diff_into(const A& a, const A& b, A& out) {
+        const Index h = a.halo();
+        for (Index j = -h; j < a.ny() + h; ++j)
+            for (Index k = -h; k < a.nz() + h; ++k)
+                for (Index i = -h; i < a.nx() + h; ++i)
+                    out(i, j, k) = a(i, j, k) - b(i, j, k);
+    }
+    template <class A>
+    static void sum_into(const A& a, const A& d, A& out) {
+        const Index h = a.halo();
+        for (Index j = -h; j < a.ny() + h; ++j)
+            for (Index k = -h; k < a.nz() + h; ++k)
+                for (Index i = -h; i < a.nx() + h; ++i)
+                    out(i, j, k) = a(i, j, k) + d(i, j, k);
+    }
+
+  public:
+    /// RK2 (midpoint) phase 1: provisional theta' at tau + dtau/2 and the
+    /// midpoint pressure dp_half (paper: "short time steps ... employ the
+    /// second-order Runge-Kutta scheme"). Caller must then fill dp_half
+    /// halos (BC or exchange).
+    void phase_theta_half(const Tendencies<T>& slow, double dtau) {
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        const T rdx = T(1.0 / grid_.dx());
+        const T rdy = T(1.0 / grid_.dy());
+        const auto& jc = grid_.jacobian();
+        const auto& jxf = grid_.jacobian_xface();
+        const auto& jyf = grid_.jacobian_yface();
+        const T half_dtau = T(0.5 * dtau);
+
+        {
+            KernelScope scope("theta_update_half",
+                              {/*reads=*/10, /*writes=*/1, 14},
+                              static_cast<std::uint64_t>(nx * ny * nz));
+            parallel_for(ny, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j) {
+                for (Index k = 0; k < nz; ++k) {
+                    const T rdz = T(1.0 / grid_.dzeta(k));
+                    for (Index i = 0; i < nx; ++i) {
+                        // Vertical deviation flux at faces k and k+1 with
+                        // the metric cross term, zero at the boundaries.
+                        const T fz_lo = deviation_fz(i, j, k);
+                        const T fz_hi = deviation_fz(i, j, k + 1);
+                        const T div =
+                            (jxf(i + 1, j, k) * thf_x_(i + 1, j, k) *
+                                 du_(i + 1, j, k) -
+                             jxf(i, j, k) * thf_x_(i, j, k) * du_(i, j, k)) *
+                                rdx +
+                            (jyf(i, j + 1, k) * thf_y_(i, j + 1, k) *
+                                 dv_(i, j + 1, k) -
+                             jyf(i, j, k) * thf_y_(i, j, k) * dv_(i, j, k)) *
+                                rdy +
+                            (thf_z_(i, j, k + 1) * fz_hi -
+                             thf_z_(i, j, k) * fz_lo) *
+                                rdz;
+                        const T dth_half =
+                            dth_(i, j, k) +
+                            half_dtau * (slow.rhotheta(i, j, k) -
+                                         div / jc(i, j, k));
+                        dp_half_(i, j, k) = cpt_(i, j, k) * dth_half;
+                    }
+                }
+            }
+            });
+        }
+    }
+
+    /// RK2 phase 2: full-step update of the horizontal momentum deviations
+    /// with the midpoint pressure gradient (paper Fig. 5 kernel (2)).
+    /// Requires dp_half halos to be valid; caller must refresh du/dv halos
+    /// afterwards.
+    void phase_horizontal_momentum(const Tendencies<T>& slow, double dtau) {
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        {
+            KernelScope scope("pgf_x_short", {/*reads=*/4, /*writes=*/1, 16},
+                              static_cast<std::uint64_t>(nx * ny * nz));
+            tend_u_.fill(T(0));
+            pgf_x(grid_, dp_half_, tend_u_);
+            parallel_for(ny, [&](Index jb, Index je) {
+                for (Index j = jb; j < je; ++j)
+                    for (Index k = 0; k < nz; ++k)
+                        for (Index i = 0; i < nx; ++i)
+                            du_(i, j, k) += T(dtau) * (tend_u_(i, j, k) +
+                                                        slow.rhou(i, j, k));
+            });
+        }
+        {
+            KernelScope scope("pgf_y_short", {/*reads=*/4, /*writes=*/1, 16},
+                              static_cast<std::uint64_t>(nx * ny * nz));
+            tend_v_.fill(T(0));
+            pgf_y(grid_, dp_half_, tend_v_);
+            parallel_for(ny, [&](Index jb, Index je) {
+                for (Index j = jb; j < je; ++j)
+                    for (Index k = 0; k < nz; ++k)
+                        for (Index i = 0; i < nx; ++i)
+                            dv_(i, j, k) += T(dtau) * (tend_v_(i, j, k) +
+                                                        slow.rhov(i, j, k));
+            });
+        }
+    }
+
+    /// The bottom kinematic condition for the deviation field; requires
+    /// du/dv halos to be valid (one ring).
+    void phase_bottom_kinematic() {
+        const Index nx = grid_.nx(), ny = grid_.ny();
+        const auto& zx = grid_.slope_x_zface();
+        const auto& zy = grid_.slope_y_zface();
+        for (Index j = -1; j < ny + 1; ++j) {
+            for (Index i = -1; i < nx + 1; ++i) {
+                const T dmu = T(0.5) * (du_(i, j, 0) + du_(i + 1, j, 0));
+                const T dmv = T(0.5) * (dv_(i, j, 0) + dv_(i, j + 1, 0));
+                dw_(i, j, 0) = dmu * zx(i, j, 0) + dmv * zy(i, j, 0);
+            }
+        }
+    }
+
+    /// Deviation contravariant flux (J * rho * u3)' at z-face k, using the
+    /// *current* deviations; zero at the bottom/top faces.
+    T deviation_fz(Index i, Index j, Index k) const {
+        const Index nz = grid_.nz();
+        if (k <= 0 || k >= nz) return T(0);
+        const auto& zx = grid_.slope_x_zface();
+        const auto& zy = grid_.slope_y_zface();
+        const T ru = T(0.25) * (du_(i, j, k - 1) + du_(i + 1, j, k - 1) +
+                                du_(i, j, k) + du_(i + 1, j, k));
+        const T rv = T(0.25) * (dv_(i, j, k - 1) + dv_(i, j + 1, k - 1) +
+                                dv_(i, j, k) + dv_(i, j + 1, k));
+        return dw_(i, j, k) - ru * zx(i, j, k) - rv * zy(i, j, k);
+    }
+
+    /// Metric part only: (rho u zx + rho v zy)' at z-face k (new du, dv).
+    T deviation_metric(Index i, Index j, Index k) const {
+        const Index nz = grid_.nz();
+        const auto& zx = grid_.slope_x_zface();
+        const auto& zy = grid_.slope_y_zface();
+        const Index km = k > 0 ? k - 1 : 0;
+        const Index kc = k < nz ? k : nz - 1;
+        const T ru = T(0.25) * (du_(i, j, km) + du_(i + 1, j, km) +
+                                du_(i, j, kc) + du_(i + 1, j, kc));
+        const T rv = T(0.25) * (dv_(i, j, km) + dv_(i, j + 1, km) +
+                                dv_(i, j, kc) + dv_(i, j + 1, kc));
+        return ru * zx(i, j, k) + rv * zy(i, j, k);
+    }
+
+    /// Phase 3: build and solve the vertical implicit (Helmholtz) system
+    /// column by column, then update rho', theta', p'. Caller must refresh
+    /// the halos of all deviations afterwards.
+    void phase_vertical_implicit(const Tendencies<T>& slow, double dtau) {
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        const T rdx = T(1.0 / grid_.dx());
+        const T rdy = T(1.0 / grid_.dy());
+        const auto& jc = grid_.jacobian();
+        const auto& jzf = grid_.jacobian_zface();
+        const auto& jxf = grid_.jacobian_xface();
+        const auto& jyf = grid_.jacobian_yface();
+        const T beta = T(cfg_.beta);
+        const T one_m_beta = T(1.0) - beta;
+        const T g = T(constants::g);
+        const T dt = T(dtau);
+
+        const std::size_t n = static_cast<std::size_t>(nz);
+
+        {
+        KernelScope scope("helmholtz_1d", {/*reads=*/12, /*writes=*/4, 12},
+                          static_cast<std::uint64_t>(nx * ny * nz));
+        parallel_for(ny, [&](Index jb, Index je) {
+        // Per-thread column workspaces (the per-thread registers of the
+        // paper's z-marching Helmholtz kernel, Fig. 2b).
+        std::vector<T> Cv(n), Rv(n), Dv(n), hrho(n), hth(n);
+        std::vector<T> fzs(n + 1), thfz(n + 1), dwold(n + 1);
+        std::vector<T> sub(n), dia(n), sup(n), rhs(n), scratch(n);
+        for (Index j = jb; j < je; ++j) {
+            for (Index i = 0; i < nx; ++i) {
+                // Per-column setup.
+                for (Index k = 0; k <= nz; ++k) {
+                    const auto ku = static_cast<std::size_t>(k);
+                    thfz[ku] = thf_z_(i, j, k);
+                    dwold[ku] = dw_(i, j, k);
+                    if (k == 0 || k == nz) {
+                        fzs[ku] = T(0);
+                    } else {
+                        fzs[ku] = one_m_beta * dw_(i, j, k) -
+                                  deviation_metric(i, j, k);
+                    }
+                }
+                for (Index k = 0; k < nz; ++k) {
+                    const auto ku = static_cast<std::size_t>(k);
+                    const T rdz = T(1.0 / grid_.dzeta(k));
+                    Dv[ku] = dt * beta * rdz / jc(i, j, k);
+                    // Horizontal deviation divergences with new du, dv.
+                    const T hdiv_rho =
+                        (jxf(i + 1, j, k) * du_(i + 1, j, k) -
+                         jxf(i, j, k) * du_(i, j, k)) *
+                            rdx +
+                        (jyf(i, j + 1, k) * dv_(i, j + 1, k) -
+                         jyf(i, j, k) * dv_(i, j, k)) *
+                            rdy;
+                    const T hdiv_th =
+                        (jxf(i + 1, j, k) * thf_x_(i + 1, j, k) *
+                             du_(i + 1, j, k) -
+                         jxf(i, j, k) * thf_x_(i, j, k) * du_(i, j, k)) *
+                            rdx +
+                        (jyf(i, j + 1, k) * thf_y_(i, j + 1, k) *
+                             dv_(i, j + 1, k) -
+                         jyf(i, j, k) * thf_y_(i, j, k) * dv_(i, j, k)) *
+                            rdy;
+                    hrho[ku] = -hdiv_rho / jc(i, j, k);
+                    hth[ku] = -hdiv_th / jc(i, j, k);
+                    const T vflux_rho =
+                        (fzs[ku + 1] - fzs[ku]) * rdz / jc(i, j, k);
+                    const T vflux_th = (thfz[ku + 1] * fzs[ku + 1] -
+                                        thfz[ku] * fzs[ku]) *
+                                       rdz / jc(i, j, k);
+                    Rv[ku] = drho_(i, j, k) +
+                             dt * (hrho[ku] + slow.rho(i, j, k) - vflux_rho);
+                    Cv[ku] = dth_(i, j, k) +
+                             dt * (hth[ku] + slow.rhotheta(i, j, k) -
+                                   vflux_th);
+                }
+                // Assemble the tridiagonal system for W' at faces 1..nz-1.
+                for (Index k = 1; k < nz; ++k) {
+                    const auto ku = static_cast<std::size_t>(k);
+                    const auto km = ku - 1;
+                    const T gk = dt / (jzf(i, j, k) *
+                                       T(grid_.zeta_center(k) -
+                                         grid_.zeta_center(k - 1)));
+                    const T cpt_k = cpt_(i, j, k);
+                    const T cpt_m = cpt_(i, j, k - 1);
+                    const T gb = gk * beta;
+                    const T hgb = T(0.5) * dt * g * beta;
+
+                    T a = -gb * cpt_m * Dv[km] * thfz[km] + hgb * Dv[km];
+                    T b = T(1) +
+                          gb * (cpt_k * Dv[ku] * thfz[ku] +
+                                cpt_m * Dv[km] * thfz[ku]) +
+                          hgb * (Dv[ku] - Dv[km]);
+                    T c = -gb * cpt_k * Dv[ku] * thfz[ku + 1] - hgb * Dv[ku];
+                    T r = dwold[ku] + dt * slow.rhow(i, j, k) -
+                          gk * (beta * (cpt_k * Cv[ku] - cpt_m * Cv[km]) +
+                                one_m_beta *
+                                    (dp_(i, j, k) - dp_(i, j, k - 1))) -
+                          dt * g *
+                              (beta * T(0.5) * (Rv[km] + Rv[ku]) +
+                               one_m_beta * T(0.5) *
+                                   (drho_(i, j, k - 1) + drho_(i, j, k)));
+                    // Boundary folds: W'_0 and W'_nz carry no flux, so the
+                    // couplings through cells 0 and nz-1 simply drop.
+                    if (k == 1) a = T(0);
+                    if (k == nz - 1) c = T(0);
+                    sub[km] = a;
+                    dia[km] = b;
+                    sup[km] = c;
+                    rhs[km] = r;
+                }
+                solve_tridiagonal<T>(
+                    std::span<const T>(sub.data(), n - 1),
+                    std::span<const T>(dia.data(), n - 1),
+                    std::span<const T>(sup.data(), n - 1),
+                    std::span<T>(rhs.data(), n - 1),
+                    std::span<T>(scratch.data(), n - 1));
+                for (Index k = 1; k < nz; ++k) {
+                    dw_(i, j, k) = rhs[static_cast<std::size_t>(k - 1)];
+                }
+                dw_(i, j, nz) = T(0);
+
+                // Stash the explicit parts for the separate update kernels
+                // below (the paper's Fig. 1 "Equation of continuity" /
+                // "Update potential temperature" / "Update pressure").
+                for (Index k = 0; k < nz; ++k) {
+                    const auto ku = static_cast<std::size_t>(k);
+                    cv3_(i, j, k) = Cv[ku];
+                    rv3_(i, j, k) = Rv[ku];
+                    dv3_(i, j, k) = Dv[ku];
+                }
+            }
+        }
+        });
+        }  // helmholtz_1d scope
+
+        // Final rho', theta', p' with the beta-averaged new W', as three
+        // separate streaming kernels mirroring the paper's component list.
+        {
+            KernelScope scope("continuity_update",
+                              {/*reads=*/3, /*writes=*/1, 2},
+                              static_cast<std::uint64_t>(nx * ny * nz));
+            parallel_for(ny, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = 0; k < nz; ++k)
+                    for (Index i = 0; i < nx; ++i) {
+                        const T w_lo = (k == 0) ? T(0) : dw_(i, j, k);
+                        const T w_hi =
+                            (k == nz - 1) ? T(0) : dw_(i, j, k + 1);
+                        drho_(i, j, k) =
+                            rv3_(i, j, k) - dv3_(i, j, k) * (w_hi - w_lo);
+                    }
+            });
+        }
+        {
+            KernelScope scope("theta_update", {/*reads=*/4, /*writes=*/1, 4},
+                              static_cast<std::uint64_t>(nx * ny * nz));
+            parallel_for(ny, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = 0; k < nz; ++k)
+                    for (Index i = 0; i < nx; ++i) {
+                        const T w_lo = (k == 0) ? T(0) : dw_(i, j, k);
+                        const T w_hi =
+                            (k == nz - 1) ? T(0) : dw_(i, j, k + 1);
+                        dth_(i, j, k) =
+                            cv3_(i, j, k) -
+                            dv3_(i, j, k) * (thf_z_(i, j, k + 1) * w_hi -
+                                             thf_z_(i, j, k) * w_lo);
+                    }
+            });
+        }
+        {
+            KernelScope scope("pressure_update", {/*reads=*/2, /*writes=*/1, 0},
+                              static_cast<std::uint64_t>(nx * ny * nz));
+            parallel_for(ny, [&](Index jb, Index je) {
+                for (Index j = jb; j < je; ++j)
+                    for (Index k = 0; k < nz; ++k)
+                        for (Index i = 0; i < nx; ++i)
+                            dp_(i, j, k) = cpt_(i, j, k) * dth_(i, j, k);
+            });
+        }
+    }
+
+    /// Fill all deviation halos with the lateral BC (single-domain path).
+    void apply_bcs(LateralBc bc) {
+        const Index nx = grid_.nx(), ny = grid_.ny();
+        apply_lateral_bc(du_, bc, nx, ny);
+        apply_lateral_bc(dv_, bc, nx, ny);
+        apply_lateral_bc(dw_, bc, nx, ny);
+        apply_lateral_bc(drho_, bc, nx, ny);
+        apply_lateral_bc(dth_, bc, nx, ny);
+        apply_lateral_bc(dp_, bc, nx, ny);
+    }
+
+  private:
+    const Grid<T>& grid_;
+    AcousticConfig cfg_;
+    // Linearization coefficients (frozen per RK stage).
+    Array3<T> cpt_;  ///< dp/d(rho theta_m) at centers
+    Array3<T> thf_x_, thf_y_, thf_z_;  ///< face theta_m
+    // Deviations.
+    Array3<T> du_, dv_, dw_, drho_, dth_, dp_;
+    // Workspace.
+    Array3<T> dp_half_, tend_u_, tend_v_;
+    Array3<T> cv3_, rv3_, dv3_;  ///< explicit parts of the implicit update
+};
+
+}  // namespace asuca

@@ -1,0 +1,271 @@
+// Flux-form FVM advection with the Koren limiter (paper Sec. II, IV-A-2).
+//
+// Every transported quantity phi is reconstructed at cell faces with the
+// 4-point upwind-limited stencil and fluxed with the generalized-coordinate
+// mass fluxes of mass_flux.hpp:
+//
+//   d(rho*phi)/dt = -(1/J) * [ d(FU * phi_f)/dx + d(FV * phi_f)/dy
+//                              + d(FZ * phi_f)/dzeta ] .
+//
+// Scalars live at centers; momentum components are advected on their own
+// staggered control volumes with mass fluxes averaged to the staggered
+// faces (a standard C-grid construction that conserves momentum given
+// discrete mass continuity). Vertical stencils are clamped at the rigid
+// bottom/top where the contravariant flux vanishes.
+#pragma once
+
+#include "src/core/limiter.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/core/mass_flux.hpp"
+#include "src/core/state.hpp"
+#include "src/core/tendencies.hpp"
+#include "src/grid/grid.hpp"
+
+namespace asuca {
+
+namespace detail {
+/// Clamp a cell index into [0, n) for one-sided vertical stencils.
+inline Index clampk(Index k, Index n) {
+    return k < 0 ? 0 : (k >= n ? n - 1 : k);
+}
+}  // namespace detail
+
+/// Mass continuity: d rho/dt = -(1/J) div(F). Exact advection of phi == 1.
+template <class T>
+void continuity_tendency(const Grid<T>& grid, const MassFluxes<T>& flux,
+                         Array3<T>& rho_tend) {
+    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+    const T rdx = T(1.0 / grid.dx());
+    const T rdy = T(1.0 / grid.dy());
+    const auto& jc = grid.jacobian();
+    parallel_for(ny, [&](Index jb, Index je) {
+    for (Index j = jb; j < je; ++j) {
+        for (Index k = 0; k < nz; ++k) {
+            const T rdz = T(1.0 / grid.dzeta(k));
+            for (Index i = 0; i < nx; ++i) {
+                const T div =
+                    (flux.fu(i + 1, j, k) - flux.fu(i, j, k)) * rdx +
+                    (flux.fv(i, j + 1, k) - flux.fv(i, j, k)) * rdy +
+                    (flux.fz(i, j, k + 1) - flux.fz(i, j, k)) * rdz;
+                rho_tend(i, j, k) -= div / jc(i, j, k);
+            }
+        }
+    }
+    });
+}
+
+/// Limited advection of a cell-centered scalar carried as rho*phi.
+/// `rho` supplies the specific value phi = (rho*phi)/rho at cells.
+template <class T>
+void advect_scalar(const Grid<T>& grid, const MassFluxes<T>& flux,
+                   const Array3<T>& rho, const Array3<T>& rhophi,
+                   Array3<T>& tend) {
+    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+    const T rdx = T(1.0 / grid.dx());
+    const T rdy = T(1.0 / grid.dy());
+    const auto& jc = grid.jacobian();
+
+    auto phi = [&](Index i, Index j, Index k) {
+        return rhophi(i, j, k) / rho(i, j, k);
+    };
+    // Face flux of phi through x-face i (between cells i-1 and i).
+    auto xflux = [&](Index i, Index j, Index k) {
+        const T f = flux.fu(i, j, k);
+        const T pf = limited_face_value(f, phi(i - 2, j, k), phi(i - 1, j, k),
+                                        phi(i, j, k), phi(i + 1, j, k));
+        return f * pf;
+    };
+    auto yflux = [&](Index i, Index j, Index k) {
+        const T f = flux.fv(i, j, k);
+        const T pf = limited_face_value(f, phi(i, j - 2, k), phi(i, j - 1, k),
+                                        phi(i, j, k), phi(i, j + 1, k));
+        return f * pf;
+    };
+    auto zflux = [&](Index i, Index j, Index k) {
+        if (k <= 0 || k >= nz) return T(0);
+        const T f = flux.fz(i, j, k);
+        const T pf = limited_face_value(
+            f, phi(i, j, detail::clampk(k - 2, nz)), phi(i, j, k - 1),
+            phi(i, j, k), phi(i, j, detail::clampk(k + 1, nz)));
+        return f * pf;
+    };
+
+    parallel_for(ny, [&](Index jb, Index je) {
+    for (Index j = jb; j < je; ++j) {
+        for (Index k = 0; k < nz; ++k) {
+            const T rdz = T(1.0 / grid.dzeta(k));
+            for (Index i = 0; i < nx; ++i) {
+                const T div = (xflux(i + 1, j, k) - xflux(i, j, k)) * rdx +
+                              (yflux(i, j + 1, k) - yflux(i, j, k)) * rdy +
+                              (zflux(i, j, k + 1) - zflux(i, j, k)) * rdz;
+                tend(i, j, k) -= div / jc(i, j, k);
+            }
+        }
+    }
+    });
+}
+
+/// Advection of rho*u on its x-face control volumes.
+template <class T>
+void advect_momentum_x(const Grid<T>& grid, const MassFluxes<T>& flux,
+                       const State<T>& state, Array3<T>& tend) {
+    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+    const T rdx = T(1.0 / grid.dx());
+    const T rdy = T(1.0 / grid.dy());
+    const auto& jxf = grid.jacobian_xface();
+
+    // u at x-face i = rho*u / (rho averaged to the face).
+    auto uvel = [&](Index i, Index j, Index k) {
+        const T rf =
+            T(0.5) * (state.rho(i - 1, j, k) + state.rho(i, j, k));
+        return state.rhou(i, j, k) / rf;
+    };
+    // x-directed CV flux through the cell center i (between faces i, i+1).
+    auto xflux = [&](Index i, Index j, Index k) {
+        const T f = T(0.5) * (flux.fu(i, j, k) + flux.fu(i + 1, j, k));
+        const T uf = limited_face_value(f, uvel(i - 1, j, k), uvel(i, j, k),
+                                        uvel(i + 1, j, k), uvel(i + 2, j, k));
+        return f * uf;
+    };
+    // y-directed CV flux through the xy corner (i, j).
+    auto yflux = [&](Index i, Index j, Index k) {
+        const T f = T(0.5) * (flux.fv(i - 1, j, k) + flux.fv(i, j, k));
+        const T uf = limited_face_value(f, uvel(i, j - 2, k), uvel(i, j - 1, k),
+                                        uvel(i, j, k), uvel(i, j + 1, k));
+        return f * uf;
+    };
+    // z-directed CV flux through the xz corner (i, k-face).
+    auto zflux = [&](Index i, Index j, Index k) {
+        if (k <= 0 || k >= nz) return T(0);
+        const T f = T(0.5) * (flux.fz(i - 1, j, k) + flux.fz(i, j, k));
+        const T uf = limited_face_value(
+            f, uvel(i, j, detail::clampk(k - 2, nz)), uvel(i, j, k - 1),
+            uvel(i, j, k), uvel(i, j, detail::clampk(k + 1, nz)));
+        return f * uf;
+    };
+
+    parallel_for(ny, [&](Index jb, Index je) {
+    for (Index j = jb; j < je; ++j) {
+        for (Index k = 0; k < nz; ++k) {
+            const T rdz = T(1.0 / grid.dzeta(k));
+            for (Index i = 0; i < nx; ++i) {
+                const T div = (xflux(i, j, k) - xflux(i - 1, j, k)) * rdx +
+                              (yflux(i, j + 1, k) - yflux(i, j, k)) * rdy +
+                              (zflux(i, j, k + 1) - zflux(i, j, k)) * rdz;
+                tend(i, j, k) -= div / jxf(i, j, k);
+            }
+        }
+    }
+    });
+}
+
+/// Advection of rho*v on its y-face control volumes.
+template <class T>
+void advect_momentum_y(const Grid<T>& grid, const MassFluxes<T>& flux,
+                       const State<T>& state, Array3<T>& tend) {
+    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+    const T rdx = T(1.0 / grid.dx());
+    const T rdy = T(1.0 / grid.dy());
+    const auto& jyf = grid.jacobian_yface();
+
+    auto vvel = [&](Index i, Index j, Index k) {
+        const T rf =
+            T(0.5) * (state.rho(i, j - 1, k) + state.rho(i, j, k));
+        return state.rhov(i, j, k) / rf;
+    };
+    auto xflux = [&](Index i, Index j, Index k) {
+        const T f = T(0.5) * (flux.fu(i, j - 1, k) + flux.fu(i, j, k));
+        const T vf = limited_face_value(f, vvel(i - 2, j, k), vvel(i - 1, j, k),
+                                        vvel(i, j, k), vvel(i + 1, j, k));
+        return f * vf;
+    };
+    auto yflux = [&](Index i, Index j, Index k) {
+        const T f = T(0.5) * (flux.fv(i, j, k) + flux.fv(i, j + 1, k));
+        const T vf = limited_face_value(f, vvel(i, j - 1, k), vvel(i, j, k),
+                                        vvel(i, j + 1, k), vvel(i, j + 2, k));
+        return f * vf;
+    };
+    auto zflux = [&](Index i, Index j, Index k) {
+        if (k <= 0 || k >= nz) return T(0);
+        const T f = T(0.5) * (flux.fz(i, j - 1, k) + flux.fz(i, j, k));
+        const T vf = limited_face_value(
+            f, vvel(i, j, detail::clampk(k - 2, nz)), vvel(i, j, k - 1),
+            vvel(i, j, k), vvel(i, j, detail::clampk(k + 1, nz)));
+        return f * vf;
+    };
+
+    parallel_for(ny, [&](Index jb, Index je) {
+    for (Index j = jb; j < je; ++j) {
+        for (Index k = 0; k < nz; ++k) {
+            const T rdz = T(1.0 / grid.dzeta(k));
+            for (Index i = 0; i < nx; ++i) {
+                const T div = (xflux(i + 1, j, k) - xflux(i, j, k)) * rdx +
+                              (yflux(i, j, k) - yflux(i, j - 1, k)) * rdy +
+                              (zflux(i, j, k + 1) - zflux(i, j, k)) * rdz;
+                tend(i, j, k) -= div / jyf(i, j, k);
+            }
+        }
+    }
+    });
+}
+
+/// Advection of rho*w on its z-face (Lorenz) control volumes. Tendencies
+/// are produced for interior faces k = 1 .. nz-1; the boundary faces are
+/// constrained by the kinematic conditions, not advected.
+template <class T>
+void advect_momentum_z(const Grid<T>& grid, const MassFluxes<T>& flux,
+                       const State<T>& state, Array3<T>& tend) {
+    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+    const T rdx = T(1.0 / grid.dx());
+    const T rdy = T(1.0 / grid.dy());
+    const auto& jzf = grid.jacobian_zface();
+
+    auto clampf = [&](Index k) {  // clamp a z-face index into [0, nz]
+        return k < 0 ? Index(0) : (k > nz ? nz : k);
+    };
+    auto wvel = [&](Index i, Index j, Index k) {
+        k = clampf(k);
+        const T rf = T(0.5) * (state.rho(i, j, detail::clampk(k - 1, nz)) +
+                               state.rho(i, j, detail::clampk(k, nz)));
+        return state.rhow(i, j, k) / rf;
+    };
+    // x-directed CV flux at (x-face i, z-face k).
+    auto xflux = [&](Index i, Index j, Index k) {
+        const T f = T(0.5) * (flux.fu(i, j, k - 1) + flux.fu(i, j, k));
+        const T wf = limited_face_value(f, wvel(i - 2, j, k), wvel(i - 1, j, k),
+                                        wvel(i, j, k), wvel(i + 1, j, k));
+        return f * wf;
+    };
+    auto yflux = [&](Index i, Index j, Index k) {
+        const T f = T(0.5) * (flux.fv(i, j, k - 1) + flux.fv(i, j, k));
+        const T wf = limited_face_value(f, wvel(i, j - 2, k), wvel(i, j - 1, k),
+                                        wvel(i, j, k), wvel(i, j + 1, k));
+        return f * wf;
+    };
+    // z-directed CV flux through the cell center k (between faces k, k+1).
+    auto zflux = [&](Index i, Index j, Index k) {
+        const T f = T(0.5) * (flux.fz(i, j, k) + flux.fz(i, j, k + 1));
+        const T wf =
+            limited_face_value(f, wvel(i, j, k - 1), wvel(i, j, k),
+                               wvel(i, j, k + 1), wvel(i, j, k + 2));
+        return f * wf;
+    };
+
+    parallel_for(ny, [&](Index jb, Index je) {
+    for (Index j = jb; j < je; ++j) {
+        for (Index k = 1; k < nz; ++k) {
+            // CV of face k spans layers k-1 and k in zeta.
+            const T rdz =
+                T(2.0 / (grid.dzeta(k - 1) + grid.dzeta(k)));
+            for (Index i = 0; i < nx; ++i) {
+                const T div = (xflux(i + 1, j, k) - xflux(i, j, k)) * rdx +
+                              (yflux(i, j + 1, k) - yflux(i, j, k)) * rdy +
+                              (zflux(i, j, k) - zflux(i, j, k - 1)) * rdz;
+                tend(i, j, k) -= div / jzf(i, j, k);
+            }
+        }
+    }
+    });
+}
+
+}  // namespace asuca

@@ -1,0 +1,105 @@
+// Horizontal boundary conditions.
+//
+// The paper's benchmarks use doubly-periodic lateral boundaries ("periodic
+// boundary condition are adopted in this mountain wave test"); the
+// real-data run (Fig. 12) uses externally supplied boundary values with a
+// relaxation (Davies) zone, which lateral_relaxation() provides.
+// Vertical boundaries (rigid bottom with kinematic terrain condition,
+// rigid lid) are enforced inside the dynamics kernels.
+#pragma once
+
+#include "src/common/error.hpp"
+#include "src/field/array3.hpp"
+
+namespace asuca {
+
+enum class LateralBc {
+    Periodic,   ///< doubly periodic (idealized tests, paper benchmarks)
+    ZeroGradient,  ///< halo copies the nearest interior value
+};
+
+namespace detail {
+/// Wrap index into [0, period).
+inline Index wrap(Index i, Index period) {
+    Index r = i % period;
+    return r < 0 ? r + period : r;
+}
+}  // namespace detail
+
+/// Fill x halos periodically. `period` is the number of unique points along
+/// x: nx for cell centers, nx for an x-face array of extent nx+1 (face nx
+/// aliases face 0, and is also filled here).
+template <class T>
+void fill_periodic_x(Array3<T>& a, Index period) {
+    const Index h = a.halo();
+    for (Index j = -h; j < a.ny() + h; ++j) {
+        for (Index k = -h; k < a.nz() + h; ++k) {
+            for (Index i = -h; i < 0; ++i)
+                a(i, j, k) = a(detail::wrap(i, period), j, k);
+            for (Index i = period; i < a.nx() + h; ++i)
+                a(i, j, k) = a(detail::wrap(i, period), j, k);
+        }
+    }
+}
+
+/// Fill y halos periodically (see fill_periodic_x for the `period` rule).
+template <class T>
+void fill_periodic_y(Array3<T>& a, Index period) {
+    const Index h = a.halo();
+    for (Index j = -h; j < 0; ++j) {
+        for (Index k = -h; k < a.nz() + h; ++k)
+            for (Index i = -h; i < a.nx() + h; ++i)
+                a(i, j, k) = a(i, detail::wrap(j, period), k);
+    }
+    for (Index j = period; j < a.ny() + h; ++j) {
+        for (Index k = -h; k < a.nz() + h; ++k)
+            for (Index i = -h; i < a.nx() + h; ++i)
+                a(i, j, k) = a(i, detail::wrap(j, period), k);
+    }
+}
+
+/// Zero-gradient (outflow) halo fill along x.
+template <class T>
+void fill_zero_gradient_x(Array3<T>& a) {
+    const Index h = a.halo();
+    for (Index j = -h; j < a.ny() + h; ++j) {
+        for (Index k = -h; k < a.nz() + h; ++k) {
+            for (Index i = -h; i < 0; ++i) a(i, j, k) = a(0, j, k);
+            for (Index i = a.nx(); i < a.nx() + h; ++i)
+                a(i, j, k) = a(a.nx() - 1, j, k);
+        }
+    }
+}
+
+template <class T>
+void fill_zero_gradient_y(Array3<T>& a) {
+    const Index h = a.halo();
+    for (Index j = -h; j < 0; ++j)
+        for (Index k = -h; k < a.nz() + h; ++k)
+            for (Index i = -h; i < a.nx() + h; ++i)
+                a(i, j, k) = a(i, 0, k);
+    for (Index j = a.ny(); j < a.ny() + h; ++j)
+        for (Index k = -h; k < a.nz() + h; ++k)
+            for (Index i = -h; i < a.nx() + h; ++i)
+                a(i, j, k) = a(i, a.ny() - 1, k);
+}
+
+/// Apply the lateral BC to one array. `x_period` / `y_period` are the
+/// numbers of unique points (pass nx / ny for both centered and staggered
+/// arrays; the staggered duplicate plane is kept consistent).
+template <class T>
+void apply_lateral_bc(Array3<T>& a, LateralBc bc, Index x_period,
+                      Index y_period) {
+    switch (bc) {
+        case LateralBc::Periodic:
+            fill_periodic_x(a, x_period);
+            fill_periodic_y(a, y_period);
+            break;
+        case LateralBc::ZeroGradient:
+            fill_zero_gradient_x(a);
+            fill_zero_gradient_y(a);
+            break;
+    }
+}
+
+}  // namespace asuca

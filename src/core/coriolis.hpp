@@ -1,0 +1,43 @@
+// Coriolis force on the horizontal momenta (part of the paper's F^i,
+// evaluated in the long time step, Fig. 1).
+//
+// On the C grid the transverse momentum is averaged onto the face where
+// the force acts (f-plane approximation):
+//
+//   d(rho*u)/dt += +f * (rho*v)|xf        d(rho*v)/dt += -f * (rho*u)|yf
+#pragma once
+
+#include "src/core/state.hpp"
+#include "src/field/array3.hpp"
+#include "src/grid/grid.hpp"
+
+namespace asuca {
+
+template <class T>
+void coriolis(const Grid<T>& grid, const State<T>& state, Array3<T>& tend_rhou,
+              Array3<T>& tend_rhov) {
+    const T f = T(grid.f_coriolis());
+    if (f == T(0)) return;
+    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+
+    for (Index j = 0; j < ny; ++j) {
+        for (Index k = 0; k < nz; ++k) {
+            for (Index i = 0; i < nx; ++i) {
+                // rho*v averaged to the x-face (4 surrounding y-faces).
+                const T rv = T(0.25) * (state.rhov(i - 1, j, k) +
+                                        state.rhov(i - 1, j + 1, k) +
+                                        state.rhov(i, j, k) +
+                                        state.rhov(i, j + 1, k));
+                tend_rhou(i, j, k) += f * rv;
+                // rho*u averaged to the y-face.
+                const T ru = T(0.25) * (state.rhou(i, j - 1, k) +
+                                        state.rhou(i + 1, j - 1, k) +
+                                        state.rhou(i, j, k) +
+                                        state.rhou(i + 1, j, k));
+                tend_rhov(i, j, k) -= f * ru;
+            }
+        }
+    }
+}
+
+}  // namespace asuca

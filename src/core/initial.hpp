@@ -1,0 +1,161 @@
+// Reference-state construction and idealized initial conditions.
+//
+// The reference state (used by the acoustic linearization and by the slow
+// buoyancy term) is the analytic hydrostatic profile evaluated at the
+// physical height of every cell. Initializing the prognostic state to the
+// same profile yields an exactly steady discrete state over flat terrain;
+// over a mountain the terrain-following coordinate surfaces cut the
+// profile and the flow responds — that is the mountain-wave test.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "src/core/eos.hpp"
+#include "src/core/profile.hpp"
+#include "src/core/state.hpp"
+#include "src/grid/grid.hpp"
+
+namespace asuca {
+
+/// Fill the reference-state fields (rho_ref, p_ref, rhotheta_ref, cs2)
+/// from the profile, over the full padded index range.
+template <class T>
+void set_reference_state(const Grid<T>& grid, const AtmosphereProfile& prof,
+                         State<T>& state) {
+    const Index h = grid.halo();
+    for (Index j = -h; j < grid.ny() + h; ++j) {
+        for (Index k = -h; k < grid.nz() + h; ++k) {
+            for (Index i = -h; i < grid.nx() + h; ++i) {
+                const double z = std::max(
+                    0.0, static_cast<double>(grid.z_center()(i, j, k)));
+                const double rho = prof.rho(z);
+                const double p = prof.pressure(z);
+                state.rho_ref(i, j, k) = static_cast<T>(rho);
+                state.p_ref(i, j, k) = static_cast<T>(p);
+                state.rhotheta_ref(i, j, k) =
+                    static_cast<T>(prof.rho_theta(z));
+                state.cs2(i, j, k) = static_cast<T>(
+                    constants::gamma_d * p / rho);
+            }
+        }
+    }
+}
+
+/// Initialize prognostics to the hydrostatic profile with a uniform
+/// horizontal wind (u0, v0). Also sets the diagnostic pressure. The
+/// reference state must have been set (this reuses the cell heights).
+template <class T>
+void initialize_hydrostatic(const Grid<T>& grid, const AtmosphereProfile& prof,
+                            double u0, double v0, State<T>& state) {
+    const Index h = grid.halo();
+    set_reference_state(grid, prof, state);
+    for (Index j = -h; j < grid.ny() + h; ++j) {
+        for (Index k = -h; k < grid.nz() + h; ++k) {
+            for (Index i = -h; i < grid.nx() + h; ++i) {
+                state.rho(i, j, k) = state.rho_ref(i, j, k);
+                state.rhotheta(i, j, k) = state.rhotheta_ref(i, j, k);
+                state.p(i, j, k) = state.p_ref(i, j, k);
+            }
+        }
+    }
+    // Momenta on faces: rho interpolated to the face height.
+    for (Index j = -h; j < grid.ny() + h; ++j) {
+        for (Index k = -h; k < grid.nz() + h; ++k) {
+            for (Index i = -h; i < grid.nx() + 1 + h; ++i) {
+                const Index il = std::max<Index>(i - 1, -h);
+                const Index ir = std::min<Index>(i, grid.nx() + h - 1);
+                const T rf = T(0.5) * (state.rho(il, j, k) +
+                                       state.rho(ir, j, k));
+                state.rhou(i, j, k) = static_cast<T>(u0) * rf;
+            }
+        }
+    }
+    for (Index j = -h; j < grid.ny() + 1 + h; ++j) {
+        for (Index k = -h; k < grid.nz() + h; ++k) {
+            for (Index i = -h; i < grid.nx() + h; ++i) {
+                const Index jl = std::max<Index>(j - 1, -h);
+                const Index jr = std::min<Index>(j, grid.ny() + h - 1);
+                const T rf = T(0.5) * (state.rho(i, jl, k) +
+                                       state.rho(i, jr, k));
+                state.rhov(i, j, k) = static_cast<T>(v0) * rf;
+            }
+        }
+    }
+    state.rhow.fill(T(0));
+    for (auto& q : state.tracers) q.fill(T(0));
+}
+
+/// Add a smooth cosine-squared potential-temperature bubble (amplitude
+/// dtheta, radii rx/ry/rz around center (cx, cy, cz)), keeping pressure
+/// fixed and recomputing density from the equation of state — the
+/// standard warm-bubble construction.
+template <class T>
+void add_theta_bubble(const Grid<T>& grid, double dtheta, double cx,
+                      double cy, double cz, double rx, double ry, double rz,
+                      State<T>& state) {
+    const Index h = grid.halo();
+    for (Index j = -h; j < grid.ny() + h; ++j) {
+        for (Index k = -h; k < grid.nz() + h; ++k) {
+            for (Index i = -h; i < grid.nx() + h; ++i) {
+                const double dxr = (grid.x_center(i) - cx) / rx;
+                const double dyr = (grid.y_center(j) - cy) / ry;
+                const double dzr =
+                    (static_cast<double>(grid.z_center()(i, j, k)) - cz) / rz;
+                const double r = std::sqrt(dxr * dxr + dyr * dyr + dzr * dzr);
+                if (r >= 1.0) continue;
+                const double c = std::cos(0.5 * M_PI * r);
+                const double pert = dtheta * c * c;
+                const double p = state.p(i, j, k);
+                const double theta_old =
+                    static_cast<double>(state.rhotheta(i, j, k)) /
+                    static_cast<double>(state.rho(i, j, k));
+                const double theta_new = theta_old + pert;
+                // rho*theta is fixed by p through the EOS; rho adjusts.
+                const double rhotheta = eos_rhotheta(p);
+                state.rhotheta(i, j, k) = static_cast<T>(rhotheta);
+                state.rho(i, j, k) = static_cast<T>(rhotheta / theta_new);
+            }
+        }
+    }
+}
+
+/// Set the water-vapor mass ratio to a given relative humidity profile
+/// rh(z) in [0,1] (requires Species::Vapor to be active). theta_m is
+/// updated consistently (paper Sec. II definition).
+template <class T>
+void set_relative_humidity(const Grid<T>& grid,
+                           const std::function<double(double)>& rh,
+                           State<T>& state) {
+    const Index h = grid.halo();
+    auto& qv_field = state.tracer(Species::Vapor);
+    for (Index j = -h; j < grid.ny() + h; ++j) {
+        for (Index k = -h; k < grid.nz() + h; ++k) {
+            for (Index i = -h; i < grid.nx() + h; ++i) {
+                const double z = static_cast<double>(grid.z_center()(i, j, k));
+                const double rho = static_cast<double>(state.rho(i, j, k));
+                const double p = static_cast<double>(state.p(i, j, k));
+                const double theta =
+                    static_cast<double>(state.rhotheta(i, j, k)) / rho;
+                const double tem = theta * std::pow(p / constants::p00,
+                                                    constants::kappa);
+                // Tetens saturation vapor pressure and mixing ratio.
+                const double es =
+                    constants::es0 *
+                    std::exp(constants::tetens_a * (tem - constants::T0) /
+                             (tem - constants::tetens_b));
+                const double qvs =
+                    (constants::Rd / constants::Rv) * es /
+                    (p - (1.0 - constants::Rd / constants::Rv) * es);
+                const double qv = std::max(0.0, rh(std::max(0.0, z))) * qvs;
+                qv_field(i, j, k) = static_cast<T>(rho * qv);
+                // theta_m = theta * (1 - qv + eps*qv) for qc = qr = 0.
+                const double theta_m =
+                    theta * (1.0 - qv + constants::eps_vd * qv);
+                state.rhotheta(i, j, k) = static_cast<T>(rho * theta_m);
+            }
+        }
+    }
+}
+
+}  // namespace asuca

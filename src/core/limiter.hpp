@@ -1,0 +1,60 @@
+// Koren (1993) flux limiter, the monotonicity device ASUCA uses to avoid
+// numerical oscillations (paper Sec. II, ref [14]).
+//
+// The limited face value for an upwind-biased reconstruction with
+// smoothness ratio r = (phi_u - phi_uu) / (phi_d - phi_u) is
+//
+//     phi_face = phi_u + 0.5 * psi(r) * (phi_d - phi_u)
+//
+// with the Koren limiter function
+//
+//     psi(r) = max(0, min(2r, min((1 + 2r)/3, 2)))
+//
+// which is third-order accurate in smooth regions and TVD. The stencil is
+// the 4-point {uu, u, d, dd} neighborhood the paper mentions ("a four-point
+// stencil in each direction").
+#pragma once
+
+#include <algorithm>
+
+namespace asuca {
+
+/// Koren limiter function psi(r).
+template <class T>
+inline T koren_psi(T r) {
+    using std::max;
+    using std::min;
+    return max(T(0), min(T(2) * r, min((T(1) + T(2) * r) / T(3), T(2))));
+}
+
+/// Limited face value between `phi_u` (upwind cell) and `phi_d` (downwind
+/// cell), with `phi_uu` the next cell further upwind:
+///
+///     r = (phi_d - phi_u) / (phi_u - phi_uu)
+///     phi_face = phi_u + 0.5 * psi(r) * (phi_u - phi_uu)
+///
+/// which reduces to the third-order kappa = 1/3 upwind-biased scheme
+/// (phi_u + (phi_d - phi_u)/3 + (phi_u - phi_uu)/6) in smooth regions.
+template <class T>
+inline T koren_face_value(T phi_uu, T phi_u, T phi_d) {
+    const T denom = phi_u - phi_uu;
+    const T numer = phi_d - phi_u;
+    // Guard the degenerate locally-flat case: psi is bounded, so the
+    // correction 0.5*psi*denom vanishes with denom; return upwind.
+    const T tiny = T(1e-30);
+    if (denom * denom < tiny) return phi_u;
+    const T r = numer / denom;
+    return phi_u + T(0.5) * koren_psi(r) * denom;
+}
+
+/// Upwind-selected limited face value given the transport velocity sign.
+/// Cells are ordered by increasing coordinate: m2, m1 | face | p0, p1.
+template <class T>
+inline T limited_face_value(T vel, T phi_m2, T phi_m1, T phi_p0, T phi_p1) {
+    if (vel >= T(0)) {
+        return koren_face_value(phi_m2, phi_m1, phi_p0);
+    }
+    return koren_face_value(phi_p1, phi_p0, phi_m1);
+}
+
+}  // namespace asuca

@@ -1,0 +1,104 @@
+// Face mass fluxes in generalized coordinates.
+//
+// The flux-form equations (paper Eqs. 1-4) transport every quantity with
+// the contravariant mass fluxes through the Arakawa-C faces:
+//
+//   FU = J_xf * rho*u                      (x-faces)
+//   FV = J_yf * rho*v                      (y-faces)
+//   FZ = J_zf * rho*u3                     (z-faces)
+//      = rho*w - (rho*u)|zf * zx - (rho*v)|zf * zy
+//
+// where u3 = (w - u*zx - v*zy)/J is the contravariant vertical velocity
+// and the J_zf factor cancels against the 1/J in rho*u3. FZ vanishes at
+// the bottom face (kinematic terrain condition) and the top face (rigid
+// lid); both are enforced here so every transport kernel inherits them.
+#pragma once
+
+#include "src/core/state.hpp"
+#include "src/field/array3.hpp"
+#include "src/grid/grid.hpp"
+
+namespace asuca {
+
+template <class T>
+struct MassFluxes {
+    explicit MassFluxes(const Grid<T>& grid)
+        : fu({grid.nx() + 1, grid.ny(), grid.nz()}, grid.halo(),
+             grid.layout()),
+          fv({grid.nx(), grid.ny() + 1, grid.nz()}, grid.halo(),
+             grid.layout()),
+          fz({grid.nx(), grid.ny(), grid.nz() + 1}, grid.halo(),
+             grid.layout()) {}
+
+    Array3<T> fu, fv, fz;
+};
+
+/// The coordinate-transform family (the paper's Fig. 5 kernel (1)
+/// signature: two reads, one write, one multiply per element): horizontal
+/// contravariant mass fluxes J * rho*u, J * rho*v. Fills one halo ring.
+template <class T>
+void compute_horizontal_mass_fluxes(const Grid<T>& grid,
+                                    const State<T>& state,
+                                    MassFluxes<T>& out) {
+    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+    const Index e = grid.halo() - 1;  // extension ring
+    const auto& jxf = grid.jacobian_xface();
+    const auto& jyf = grid.jacobian_yface();
+
+    for (Index j = -e; j < ny + e; ++j) {
+        for (Index k = 0; k < nz; ++k) {
+            for (Index i = -e; i < nx + 1 + e; ++i) {
+                out.fu(i, j, k) = jxf(i, j, k) * state.rhou(i, j, k);
+            }
+        }
+    }
+    for (Index j = -e; j < ny + 1 + e; ++j) {
+        for (Index k = 0; k < nz; ++k) {
+            for (Index i = -e; i < nx + e; ++i) {
+                out.fv(i, j, k) = jyf(i, j, k) * state.rhov(i, j, k);
+            }
+        }
+    }
+}
+
+/// Contravariant vertical mass flux through z-faces (terrain metric terms).
+template <class T>
+void compute_contravariant_flux(const Grid<T>& grid, const State<T>& state,
+                                MassFluxes<T>& out) {
+    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+    const Index e = grid.halo() - 1;
+    const auto& zx = grid.slope_x_zface();
+    const auto& zy = grid.slope_y_zface();
+
+    for (Index j = -e; j < ny + e; ++j) {
+        for (Index k = 0; k <= nz; ++k) {
+            const bool boundary_face = (k == 0 || k == nz);
+            for (Index i = -e; i < nx + e; ++i) {
+                if (boundary_face) {
+                    out.fz(i, j, k) = T(0);
+                    continue;
+                }
+                // Momentum interpolated to the z-face (average over the
+                // 2 x-faces x 2 levels around it).
+                const T ru = T(0.25) *
+                             (state.rhou(i, j, k - 1) + state.rhou(i + 1, j, k - 1) +
+                              state.rhou(i, j, k) + state.rhou(i + 1, j, k));
+                const T rv = T(0.25) *
+                             (state.rhov(i, j, k - 1) + state.rhov(i, j + 1, k - 1) +
+                              state.rhov(i, j, k) + state.rhov(i, j + 1, k));
+                out.fz(i, j, k) = state.rhow(i, j, k) - ru * zx(i, j, k) -
+                                  rv * zy(i, j, k);
+            }
+        }
+    }
+}
+
+/// Convenience: both flux families.
+template <class T>
+void compute_mass_fluxes(const Grid<T>& grid, const State<T>& state,
+                         MassFluxes<T>& out) {
+    compute_horizontal_mass_fluxes(grid, state, out);
+    compute_contravariant_flux(grid, state, out);
+}
+
+}  // namespace asuca

@@ -1,0 +1,160 @@
+// AsucaModel: the top-level facade a downstream user drives.
+//
+// Owns the grid, the prognostic state, the HE-VI/RK3 time stepper and the
+// warm-rain microphysics, and advances them in the component order of the
+// paper's Fig. 1 (long step dynamics -> physics -> precipitation ->
+// boundary operations). Templated on the scalar type: float for the
+// paper's headline single-precision runs, double for validation, and
+// CountedDouble for FLOP calibration.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/core/diagnostics.hpp"
+#include "src/core/initial.hpp"
+#include "src/core/lateral_relaxation.hpp"
+#include "src/core/state.hpp"
+#include "src/core/timestepper.hpp"
+#include "src/grid/grid.hpp"
+#include "src/physics/kessler.hpp"
+#include "src/physics/sedimentation.hpp"
+#include "src/physics/surface.hpp"
+
+namespace asuca {
+
+template <class T>
+struct ModelConfig {
+    GridSpec grid;
+    TimeStepperConfig stepper;
+    KesslerConfig kessler;
+    bool microphysics = false;  ///< Kessler warm rain on/off
+    /// Sedimentation of the ice-phase categories (snow/graupel/hail) when
+    /// they are active — the paper's "snow is future work" extension.
+    bool ice_sedimentation = false;
+    bool surface_fluxes = false;  ///< bulk surface drag / heat / moisture
+    SurfaceFluxConfig surface;
+    SpeciesSet species = SpeciesSet::dry();
+};
+
+template <class T>
+class AsucaModel {
+  public:
+    explicit AsucaModel(const ModelConfig<T>& config)
+        : cfg_(config), grid_(config.grid),
+          state_(grid_, config.species),
+          stepper_(grid_, config.species, config.stepper) {
+        if (cfg_.microphysics) {
+            ASUCA_REQUIRE(cfg_.species.contains(Species::Vapor) &&
+                              cfg_.species.contains(Species::Cloud) &&
+                              cfg_.species.contains(Species::Rain),
+                          "microphysics requires the warm-rain species");
+            kessler_.emplace(grid_, cfg_.kessler);
+        }
+        if (cfg_.ice_sedimentation) {
+            ASUCA_REQUIRE(cfg_.species.contains(Species::Snow) ||
+                              cfg_.species.contains(Species::Graupel) ||
+                              cfg_.species.contains(Species::Hail),
+                          "ice sedimentation needs an ice-phase species");
+            // Kessler already sediments rain; this instance handles the
+            // ice categories so precipitation is not double-counted.
+            ice_sed_.emplace(grid_);
+        }
+        if (cfg_.surface_fluxes) {
+            surface_.emplace(grid_, cfg_.surface);
+        }
+    }
+
+    const Grid<T>& grid() const { return grid_; }
+    State<T>& state() { return state_; }
+    const State<T>& state() const { return state_; }
+    TimeStepper<T>& stepper() { return stepper_; }
+    const ModelConfig<T>& config() const { return cfg_; }
+    double time() const { return time_; }
+    std::int64_t step_count() const { return steps_; }
+
+    Kessler<T>& microphysics() {
+        ASUCA_REQUIRE(kessler_.has_value(), "microphysics disabled");
+        return *kessler_;
+    }
+
+    Sedimentation<T>& ice_sedimentation() {
+        ASUCA_REQUIRE(ice_sed_.has_value(), "ice sedimentation disabled");
+        return *ice_sed_;
+    }
+
+    /// Attach hourly boundary frames (the paper's Fig. 12 real-data mode);
+    /// applied after every long step. Pass nullptr to detach.
+    void attach_lateral_relaxation(
+        std::shared_ptr<LateralRelaxation<T>> relax) {
+        relaxation_ = std::move(relax);
+    }
+
+    /// Idealized initialization: hydrostatic profile + uniform wind.
+    void initialize(const AtmosphereProfile& profile, double u0 = 0.0,
+                    double v0 = 0.0) {
+        initialize_hydrostatic(grid_, profile, u0, v0, state_);
+        stepper_.apply_state_bcs(state_);
+    }
+
+    /// Advance one long time step (Fig. 1 component order: dynamics ->
+    /// physical processes -> precipitation -> boundary operations).
+    void step() {
+        stepper_.step(state_);
+        bool touched = false;
+        if (kessler_.has_value()) {
+            kessler_->apply(state_, cfg_.stepper.dt);
+            touched = true;
+        }
+        if (ice_sed_.has_value()) {
+            ice_only_sedimentation(cfg_.stepper.dt);
+            touched = true;
+        }
+        if (surface_.has_value()) {
+            surface_->apply(state_, cfg_.stepper.dt);
+            touched = true;
+        }
+        time_ += cfg_.stepper.dt;
+        ++steps_;
+        if (relaxation_ != nullptr) {
+            relaxation_->apply(time_, cfg_.stepper.dt, state_);
+            touched = true;
+        }
+        if (touched) stepper_.apply_state_bcs(state_);
+    }
+
+    void run(int n_steps) {
+        for (int n = 0; n < n_steps; ++n) step();
+    }
+
+    // --- convenience diagnostics ---
+    double total_mass() const { return asuca::total_mass(grid_, state_.rho); }
+    double max_w() const { return max_abs(state_.rhow); }
+    bool is_finite() const { return state_is_finite(state_); }
+
+  private:
+    /// Run the generalized sedimentation per species, skipping rain when
+    /// Kessler is active (it sediments rain itself; falling it twice
+    /// would double-count precipitation).
+    void ice_only_sedimentation(double dt) {
+        for (std::size_t n = 0; n < state_.species.count(); ++n) {
+            const Species sp = state_.species.at(n);
+            if (!has_fall_speed(sp)) continue;
+            if (sp == Species::Rain && kessler_.has_value()) continue;
+            ice_sed_->apply_species(state_, sp, dt);
+        }
+    }
+
+    ModelConfig<T> cfg_;
+    Grid<T> grid_;
+    State<T> state_;
+    TimeStepper<T> stepper_;
+    std::optional<Kessler<T>> kessler_;
+    std::optional<Sedimentation<T>> ice_sed_;
+    std::optional<SurfaceFluxes<T>> surface_;
+    std::shared_ptr<LateralRelaxation<T>> relaxation_;
+    double time_ = 0.0;
+    std::int64_t steps_ = 0;
+};
+
+}  // namespace asuca

@@ -1,0 +1,140 @@
+// State: the prognostic and reference fields of the ASUCA dycore.
+//
+// Prognostic variables (flux form, Sec. II of the paper): density rho,
+// momenta rho*u / rho*v / rho*w on the Arakawa-C faces, rho*theta_m, and
+// rho*q_alpha for each active water species. The generalized-coordinate
+// factor 1/J is kept in the flux divergence (J is time-independent), so
+// the stored quantities are the density-weighted physical variables.
+//
+// A hydrostatically balanced reference state (rho_ref, p_ref, theta_ref,
+// speed of sound) is carried for the acoustic (short time step)
+// linearization of the HE-VI scheme.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+#include "src/core/species.hpp"
+#include "src/field/array3.hpp"
+#include "src/grid/grid.hpp"
+
+namespace asuca {
+
+/// Identifies a prognostic variable; used by halo exchange, the overlap
+/// scheduler, and per-variable instrumentation.
+enum class VarId : int {
+    Rho = 0,
+    RhoU = 1,
+    RhoV = 2,
+    RhoW = 3,
+    RhoTheta = 4,
+    TracerBase = 5,  ///< tracer n is VarId(TracerBase + n)
+};
+
+inline VarId tracer_var(std::size_t n) {
+    return static_cast<VarId>(static_cast<int>(VarId::TracerBase) +
+                              static_cast<int>(n));
+}
+
+inline std::string name_of(VarId v, const SpeciesSet& species) {
+    switch (v) {
+        case VarId::Rho: return "rho";
+        case VarId::RhoU: return "rho_u";
+        case VarId::RhoV: return "rho_v";
+        case VarId::RhoW: return "rho_w";
+        case VarId::RhoTheta: return "rho_theta";
+        default: {
+            const auto n = static_cast<std::size_t>(
+                static_cast<int>(v) - static_cast<int>(VarId::TracerBase));
+            ASUCA_ASSERT(n < species.count(), "bad tracer VarId");
+            return std::string("rho_") + std::string(name_of(species.at(n)));
+        }
+    }
+}
+
+template <class T>
+struct State {
+    State(const Grid<T>& grid, const SpeciesSet& species_set)
+        : species(species_set),
+          rho({grid.nx(), grid.ny(), grid.nz()}, grid.halo(), grid.layout()),
+          rhou({grid.nx() + 1, grid.ny(), grid.nz()}, grid.halo(),
+               grid.layout()),
+          rhov({grid.nx(), grid.ny() + 1, grid.nz()}, grid.halo(),
+               grid.layout()),
+          rhow({grid.nx(), grid.ny(), grid.nz() + 1}, grid.halo(),
+               grid.layout()),
+          rhotheta({grid.nx(), grid.ny(), grid.nz()}, grid.halo(),
+                   grid.layout()),
+          p({grid.nx(), grid.ny(), grid.nz()}, grid.halo(), grid.layout()),
+          rho_ref({grid.nx(), grid.ny(), grid.nz()}, grid.halo(),
+                  grid.layout()),
+          p_ref({grid.nx(), grid.ny(), grid.nz()}, grid.halo(),
+                grid.layout()),
+          rhotheta_ref({grid.nx(), grid.ny(), grid.nz()}, grid.halo(),
+                       grid.layout()),
+          cs2({grid.nx(), grid.ny(), grid.nz()}, grid.halo(), grid.layout()) {
+        tracers.reserve(species.count());
+        for (std::size_t n = 0; n < species.count(); ++n) {
+            tracers.emplace_back(Int3{grid.nx(), grid.ny(), grid.nz()},
+                                 grid.halo(), grid.layout());
+        }
+    }
+
+    SpeciesSet species;
+
+    // Prognostics.
+    Array3<T> rho;       ///< total mass density [kg m^-3], centers
+    Array3<T> rhou;      ///< rho*u [kg m^-2 s^-1], x-faces
+    Array3<T> rhov;      ///< rho*v, y-faces
+    Array3<T> rhow;      ///< rho*w, z-faces (Lorenz)
+    Array3<T> rhotheta;  ///< rho*theta_m [kg K m^-3], centers
+    std::vector<Array3<T>> tracers;  ///< rho*q_alpha, centers
+
+    // Diagnostics.
+    Array3<T> p;  ///< pressure [Pa], centers
+
+    // Hydrostatic reference state for the acoustic linearization.
+    Array3<T> rho_ref;
+    Array3<T> p_ref;
+    Array3<T> rhotheta_ref;
+    Array3<T> cs2;  ///< squared sound speed [m^2 s^-2]
+
+    /// Tracer field of a species; requires the species to be active.
+    Array3<T>& tracer(Species s) { return tracers[species.slot(s)]; }
+    const Array3<T>& tracer(Species s) const {
+        return tracers[species.slot(s)];
+    }
+
+    std::size_t num_prognostics() const { return 5 + tracers.size(); }
+
+    Array3<T>& field(VarId v) {
+        switch (v) {
+            case VarId::Rho: return rho;
+            case VarId::RhoU: return rhou;
+            case VarId::RhoV: return rhov;
+            case VarId::RhoW: return rhow;
+            case VarId::RhoTheta: return rhotheta;
+            default: {
+                const auto n = static_cast<std::size_t>(
+                    static_cast<int>(v) - static_cast<int>(VarId::TracerBase));
+                ASUCA_ASSERT(n < tracers.size(), "bad tracer VarId");
+                return tracers[n];
+            }
+        }
+    }
+    const Array3<T>& field(VarId v) const {
+        return const_cast<State*>(this)->field(v);
+    }
+
+    std::vector<VarId> prognostic_ids() const {
+        std::vector<VarId> ids = {VarId::Rho, VarId::RhoU, VarId::RhoV,
+                                  VarId::RhoW, VarId::RhoTheta};
+        for (std::size_t n = 0; n < tracers.size(); ++n)
+            ids.push_back(tracer_var(n));
+        return ids;
+    }
+};
+
+}  // namespace asuca

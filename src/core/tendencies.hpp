@@ -1,0 +1,44 @@
+// Tendency container: d/dt of each prognostic variable, accumulated by the
+// slow-mode kernels (advection, Coriolis, diffusion, physics forcings) of
+// the long time step.
+#pragma once
+
+#include <vector>
+
+#include "src/core/state.hpp"
+
+namespace asuca {
+
+template <class T>
+struct Tendencies {
+    Tendencies(const Grid<T>& grid, const SpeciesSet& species)
+        : rho({grid.nx(), grid.ny(), grid.nz()}, grid.halo(), grid.layout()),
+          rhou({grid.nx() + 1, grid.ny(), grid.nz()}, grid.halo(),
+               grid.layout()),
+          rhov({grid.nx(), grid.ny() + 1, grid.nz()}, grid.halo(),
+               grid.layout()),
+          rhow({grid.nx(), grid.ny(), grid.nz() + 1}, grid.halo(),
+               grid.layout()),
+          rhotheta({grid.nx(), grid.ny(), grid.nz()}, grid.halo(),
+                   grid.layout()) {
+        tracers.reserve(species.count());
+        for (std::size_t n = 0; n < species.count(); ++n) {
+            tracers.emplace_back(Int3{grid.nx(), grid.ny(), grid.nz()},
+                                 grid.halo(), grid.layout());
+        }
+    }
+
+    void clear() {
+        rho.fill(T(0));
+        rhou.fill(T(0));
+        rhov.fill(T(0));
+        rhow.fill(T(0));
+        rhotheta.fill(T(0));
+        for (auto& t : tracers) t.fill(T(0));
+    }
+
+    Array3<T> rho, rhou, rhov, rhow, rhotheta;
+    std::vector<Array3<T>> tracers;
+};
+
+}  // namespace asuca

@@ -1,0 +1,44 @@
+// Tridiagonal solver (Thomas algorithm) for the 1-D Helmholtz-like elliptic
+// equation of the HE-VI scheme (paper Sec. IV-A-3).
+//
+// Each vertical column yields an independent system  a_k x_{k-1} + b_k x_k
+// + c_k x_{k+1} = d_k ; columns are solved sequentially in k (the paper's
+// GPU kernel marches threads along z for exactly this reason) and in
+// parallel across the xy plane.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "src/common/error.hpp"
+
+namespace asuca {
+
+/// Solve one tridiagonal system in place. `lower[0]` and `upper[n-1]` are
+/// ignored. `rhs` is overwritten with the solution; `scratch` must have at
+/// least n elements. Requires diagonal dominance for stability (satisfied
+/// by the HE-VI operator, whose diagonal is 1 + O(dt^2 cs^2 / dz^2)).
+template <class T>
+inline void solve_tridiagonal(std::span<const T> lower, std::span<const T> diag,
+                              std::span<const T> upper, std::span<T> rhs,
+                              std::span<T> scratch) {
+    const std::size_t n = diag.size();
+    ASUCA_ASSERT(n >= 1, "empty tridiagonal system");
+    ASUCA_ASSERT(lower.size() == n && upper.size() == n && rhs.size() == n &&
+                     scratch.size() >= n,
+                 "tridiagonal size mismatch");
+    // Forward sweep.
+    T beta = diag[0];
+    rhs[0] = rhs[0] / beta;
+    for (std::size_t k = 1; k < n; ++k) {
+        scratch[k] = upper[k - 1] / beta;
+        beta = diag[k] - lower[k] * scratch[k];
+        rhs[k] = (rhs[k] - lower[k] * rhs[k - 1]) / beta;
+    }
+    // Back substitution.
+    for (std::size_t k = n - 1; k-- > 0;) {
+        rhs[k] = rhs[k] - scratch[k + 1] * rhs[k + 1];
+    }
+}
+
+}  // namespace asuca

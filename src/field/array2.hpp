@@ -1,0 +1,48 @@
+// Array2: halo-aware 2-D (x,y) array for surface fields (terrain height,
+// surface pressure, accumulated precipitation, Coriolis parameter).
+#pragma once
+
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+
+namespace asuca {
+
+template <class T>
+class Array2 {
+  public:
+    Array2() = default;
+
+    Array2(Index nx, Index ny, Index halo, T fill = T(0))
+        : nx_(nx), ny_(ny), halo_(halo), px_(nx + 2 * halo),
+          data_(static_cast<std::size_t>((nx + 2 * halo) * (ny + 2 * halo)),
+                fill) {
+        ASUCA_REQUIRE(nx > 0 && ny > 0 && halo >= 0,
+                      "bad Array2 shape " << nx << "x" << ny << " halo "
+                                          << halo);
+    }
+
+    Index nx() const { return nx_; }
+    Index ny() const { return ny_; }
+    Index halo() const { return halo_; }
+    std::size_t size() const { return data_.size(); }
+
+    T& operator()(Index i, Index j) {
+        return data_[static_cast<std::size_t>((j + halo_) * px_ + i + halo_)];
+    }
+    const T& operator()(Index i, Index j) const {
+        return data_[static_cast<std::size_t>((j + halo_) * px_ + i + halo_)];
+    }
+
+    void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  private:
+    Index nx_ = 0;
+    Index ny_ = 0;
+    Index halo_ = 0;
+    Index px_ = 0;
+    std::vector<T> data_;
+};
+
+}  // namespace asuca

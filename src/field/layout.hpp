@@ -1,0 +1,63 @@
+// Memory layouts for 3-D arrays.
+//
+// The paper (Sec. IV-A-1) contrasts two orderings of the (i,j,k) index
+// space (i: x / west-east, j: y / south-north, k: z / vertical):
+//
+//  * kij-ordering — elements consecutive along z, then x, then y. This is
+//    the original Fortran ASUCA layout; it maximizes cache hits when the
+//    computation marches vertically on a CPU.
+//  * xzy-ordering — elements consecutive along x, then z, then y. This is
+//    the layout the GPU port adopts so that threads laid out over an xz
+//    plane make coalesced device-memory accesses, and so that y-direction
+//    halos for the 2-D domain decomposition are contiguous.
+//
+// Both layouts are carried at runtime so the same kernels can be validated
+// against each other (the paper's round-off-level CPU/GPU agreement check).
+#pragma once
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+
+namespace asuca {
+
+enum class Layout {
+    ZXY,  ///< "kij": z fastest, then x, then y (CPU / Fortran ASUCA order).
+    XZY,  ///< x fastest, then z, then y (GPU-coalesced order).
+};
+
+constexpr const char* name_of(Layout l) {
+    return l == Layout::ZXY ? "kij(z,x,y)" : "xzy(x,z,y)";
+}
+
+/// Strides (in elements) for each logical axis given padded extents.
+struct Strides {
+    Index sx = 0;
+    Index sy = 0;
+    Index sz = 0;
+};
+
+/// Compute strides for padded extents (dimensions including halos).
+inline Strides make_strides(Layout layout, Int3 padded) {
+    ASUCA_ASSERT(padded.x > 0 && padded.y > 0 && padded.z > 0,
+                 "padded extents must be positive, got " << padded.x << "x"
+                                                         << padded.y << "x"
+                                                         << padded.z);
+    switch (layout) {
+        case Layout::ZXY:
+            return Strides{/*sx=*/padded.z, /*sy=*/padded.z * padded.x,
+                           /*sz=*/1};
+        case Layout::XZY:
+            return Strides{/*sx=*/1, /*sy=*/padded.x * padded.z,
+                           /*sz=*/padded.x};
+    }
+    ASUCA_ASSERT(false, "unreachable layout");
+    return {};
+}
+
+/// Which axis is unit-stride under `layout`? Used by the GPU traffic model
+/// to decide whether a kernel's accesses coalesce.
+constexpr char unit_stride_axis(Layout layout) {
+    return layout == Layout::ZXY ? 'z' : 'x';
+}
+
+}  // namespace asuca

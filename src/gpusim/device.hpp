@@ -1,0 +1,118 @@
+// Device catalog for the performance model.
+//
+// The paper's analysis (Fig. 5, Eq. 6) predicts kernel time from peak
+// floating-point throughput and peak device-memory bandwidth. We carry the
+// same hardware constants plus the effectiveness factors every practical
+// roofline needs:
+//
+//  * mem_efficiency        — achievable fraction of peak bandwidth for a
+//                            perfectly coalesced stream (GT200 ~0.75)
+//  * uncoalesced_penalty   — bandwidth division when the kernel's fast
+//                            loop axis is not the array's unit-stride axis
+//                            (GT200 serializes 16-way — the paper's reason
+//                            for switching kij -> xzy ordering)
+//  * half_occupancy_elems  — latency-hiding saturation scale: effective
+//                            throughput ramps as n/(n+n_half) with the
+//                            number of parallel elements (small grids
+//                            cannot fill the SMs; visible in Fig. 4's
+//                            rising curve)
+#pragma once
+
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace asuca::gpusim {
+
+struct DeviceSpec {
+    std::string name;
+    double fp32_gflops = 0;      ///< peak single-precision [GFlop/s]
+    double fp64_gflops = 0;      ///< peak double-precision [GFlop/s]
+    double mem_bandwidth_gbs = 0;///< peak device-memory bandwidth [GB/s]
+    double mem_efficiency = 1.0;
+    double uncoalesced_penalty = 1.0;
+    /// Fraction of stencil-neighbor re-reads served without device-memory
+    /// traffic (shared-memory tiles / hardware caches).
+    double stencil_cache_effectiveness = 0.5;
+    double half_occupancy_elems = 0;  ///< 0 = always saturated
+    int sm_count = 0;
+    int sp_per_sm = 0;
+    double clock_ghz = 0;
+    double shared_mem_kb_per_sm = 0;
+    /// Fixed per-kernel-launch overhead [s] (driver + dispatch).
+    double launch_overhead_s = 0;
+
+    double peak_gflops(Precision p) const {
+        return p == Precision::Single ? fp32_gflops : fp64_gflops;
+    }
+
+    /// NVIDIA Tesla S1070 (GT200), one of its four GPUs — the paper's
+    /// benchmark device (Sec. III): 240 SPs at 1.44 GHz, 691.2 GFlops SP,
+    /// 86.4 GFlops DP, 102.4 GB/s* GDDR3 (*paper quotes 102 GB/s peak).
+    static DeviceSpec tesla_s1070() {
+        DeviceSpec d;
+        d.name = "Tesla S1070 (GT200)";
+        d.fp32_gflops = 691.2;
+        d.fp64_gflops = 86.4;
+        d.mem_bandwidth_gbs = 102.4;
+        d.mem_efficiency = 0.76;
+        d.uncoalesced_penalty = 8.0;
+        d.stencil_cache_effectiveness = 0.5;  // 16 KB tiles, one field
+        d.half_occupancy_elems = 6.0e5;
+        d.sm_count = 30;
+        d.sp_per_sm = 8;
+        d.clock_ghz = 1.44;
+        d.shared_mem_kb_per_sm = 16.0;
+        d.launch_overhead_s = 8e-6;
+        return d;
+    }
+
+    /// NVIDIA Fermi generation (TSUBAME 2.0 projection, paper Sec. VII:
+    /// "assuming a Fermi GPU provides almost the same computational
+    /// performance and device memory bandwidth as Tesla S1070"): M2050
+    /// numbers, conservative per the paper's assumption.
+    static DeviceSpec fermi_m2050() {
+        DeviceSpec d;
+        d.name = "Fermi M2050";
+        d.fp32_gflops = 1030.0;
+        d.fp64_gflops = 515.0;
+        d.mem_bandwidth_gbs = 148.0;
+        d.mem_efficiency = 0.72;
+        d.uncoalesced_penalty = 4.0;  // Fermi has an L1/L2 cache
+        d.stencil_cache_effectiveness = 0.7;  // 48 KB smem + L1/L2
+        d.half_occupancy_elems = 6.0e5;
+        d.sm_count = 14;
+        d.sp_per_sm = 32;
+        d.clock_ghz = 1.15;
+        d.shared_mem_kb_per_sm = 48.0;
+        d.launch_overhead_s = 5e-6;
+        return d;
+    }
+
+    /// One 2.4 GHz AMD Opteron core of a TSUBAME Sun Fire X4600 node —
+    /// the paper's CPU baseline. Peak 4.8 GFlops (2 FP ops/cycle); the
+    /// sustained stream bandwidth of one core of the 8-socket NUMA node is
+    /// a few GB/s; kij ordering keeps its accesses cache-friendly, so no
+    /// uncoalesced penalty applies.
+    static DeviceSpec opteron_core() {
+        DeviceSpec d;
+        d.name = "AMD Opteron 880 core (2.4 GHz)";
+        // Scalar (non-SSE-vectorized) compiled stencil code retires about
+        // one FP op per cycle; per-core sustained stream bandwidth on the
+        // 8-socket X4600 NUMA node is well below the socket peak.
+        d.fp32_gflops = 2.4;
+        d.fp64_gflops = 2.4;
+        d.mem_bandwidth_gbs = 1.8;
+        d.mem_efficiency = 0.80;
+        d.uncoalesced_penalty = 1.0;
+        d.stencil_cache_effectiveness = 0.8;  // L2-served kij stencils
+        d.half_occupancy_elems = 0;  // a CPU core has no occupancy ramp
+        d.sm_count = 1;
+        d.sp_per_sm = 1;
+        d.clock_ghz = 2.4;
+        d.launch_overhead_s = 0;
+        return d;
+    }
+};
+
+}  // namespace asuca::gpusim

@@ -1,0 +1,144 @@
+// CUDA-like kernel execution emulation.
+//
+// The paper ports ASUCA by rewriting every component as a CUDA kernel
+// with a specific thread organization (Sec. IV-A, Figs. 2-3). This layer
+// reproduces that *programming model* on the host so ported kernels can
+// be written in the same structure — grid of blocks, block of threads,
+// per-block software-managed shared memory with the GT200's 16 KB budget
+// enforced, barrier-phased cooperative execution — and validated against
+// the straight-loop reference kernels (tests/test_gpu_port.cpp).
+//
+// Execution semantics: blocks run sequentially (they are independent in
+// CUDA); inside a block the kernel body is organized in barrier-delimited
+// phases, each phase executed for every thread of the block before the
+// next phase starts — the standard host emulation of __syncthreads().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+
+namespace asuca::gpusim::exec {
+
+/// CUDA dim3 analog.
+struct Dim3 {
+    Index x = 1;
+    Index y = 1;
+    Index z = 1;
+    Index volume() const { return x * y * z; }
+};
+
+/// Identity of one thread within the launch.
+struct ThreadIdx {
+    Dim3 block;   ///< blockIdx
+    Dim3 thread;  ///< threadIdx
+};
+
+/// Per-block software-managed scratch with a hard capacity, mirroring the
+/// 16 KB shared memory of a GT200 SM (paper Sec. III).
+class SharedMemory {
+  public:
+    explicit SharedMemory(std::size_t capacity_bytes)
+        : capacity_(capacity_bytes) {}
+
+    /// Allocate `count` elements of T for the lifetime of the block.
+    /// Throws when the kernel's tiles exceed the device budget — the
+    /// constraint that shapes the paper's (64+3)x(4+3) tile choice.
+    template <class T>
+    T* allocate(std::size_t count) {
+        const std::size_t bytes = count * sizeof(T);
+        ASUCA_REQUIRE(used_ + bytes <= capacity_,
+                      "shared memory over budget: "
+                          << used_ + bytes << " > " << capacity_
+                          << " bytes per block");
+        arenas_.emplace_back(bytes);
+        used_ += bytes;
+        return reinterpret_cast<T*>(arenas_.back().data());
+    }
+
+    std::size_t used_bytes() const { return used_; }
+    std::size_t capacity() const { return capacity_; }
+
+    /// Called between blocks: shared memory has block lifetime.
+    void reset() {
+        arenas_.clear();
+        used_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::size_t used_ = 0;
+    std::vector<std::vector<unsigned char>> arenas_;
+};
+
+/// One cooperative block context: the kernel body calls `for_each_thread`
+/// once per barrier-delimited phase; every thread executes the phase
+/// before the function returns (i.e. each call ends with an implicit
+/// __syncthreads()).
+class BlockContext {
+  public:
+    BlockContext(Dim3 block_idx, Dim3 block_dim, Dim3 grid_dim,
+                 SharedMemory& shared)
+        : block_idx_(block_idx), block_dim_(block_dim), grid_dim_(grid_dim),
+          shared_(shared) {}
+
+    Dim3 block_idx() const { return block_idx_; }
+    Dim3 block_dim() const { return block_dim_; }
+    Dim3 grid_dim() const { return grid_dim_; }
+    SharedMemory& shared() const { return shared_; }
+
+    /// Execute one phase for every thread in the block (then barrier).
+    void for_each_thread(const std::function<void(Dim3)>& phase) const {
+        Dim3 t;
+        for (t.z = 0; t.z < block_dim_.z; ++t.z) {
+            for (t.y = 0; t.y < block_dim_.y; ++t.y) {
+                for (t.x = 0; t.x < block_dim_.x; ++t.x) {
+                    phase(t);
+                }
+            }
+        }
+    }
+
+  private:
+    Dim3 block_idx_;
+    Dim3 block_dim_;
+    Dim3 grid_dim_;
+    SharedMemory& shared_;
+};
+
+struct LaunchStats {
+    Index blocks_run = 0;
+    Index threads_run = 0;
+    std::size_t max_shared_bytes = 0;
+};
+
+/// Launch a cooperative kernel: `body(BlockContext&)` runs once per block.
+/// `shared_capacity` defaults to the GT200's 16 KB.
+template <class Body>
+LaunchStats launch(Dim3 grid, Dim3 block, Body&& body,
+                   std::size_t shared_capacity = 16 * 1024) {
+    ASUCA_REQUIRE(grid.volume() > 0 && block.volume() > 0,
+                  "empty launch configuration");
+    LaunchStats stats;
+    SharedMemory shared(shared_capacity);
+    Dim3 b;
+    for (b.z = 0; b.z < grid.z; ++b.z) {
+        for (b.y = 0; b.y < grid.y; ++b.y) {
+            for (b.x = 0; b.x < grid.x; ++b.x) {
+                shared.reset();
+                BlockContext ctx(b, block, grid, shared);
+                body(ctx);
+                stats.blocks_run += 1;
+                stats.threads_run += block.volume();
+                stats.max_shared_bytes =
+                    std::max(stats.max_shared_bytes, shared.used_bytes());
+            }
+        }
+    }
+    return stats;
+}
+
+}  // namespace asuca::gpusim::exec

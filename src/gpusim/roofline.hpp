@@ -1,0 +1,167 @@
+// The paper's kernel performance model (Eq. 6):
+//
+//     time = FLOP / Fpeak + Byte / Bpeak + alpha
+//
+// evaluated per kernel from (a) FLOP counts measured by instrumenting the
+// actual numerics (CountingReal — the PAPI substitute) and (b) byte counts
+// derived from each kernel's declared traffic signature, the element size,
+// the memory layout (coalescing) and whether shared-memory tiling serves
+// the stencil re-reads. An occupancy/saturation factor models small-grid
+// underutilization (the rising part of the paper's Fig. 4).
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+#include "src/field/layout.hpp"
+#include "src/gpusim/device.hpp"
+#include "src/instrument/kernel_registry.hpp"
+
+namespace asuca::gpusim {
+
+/// Execution-strategy knobs of the modeled port (the paper's Sec. IV-A
+/// optimizations, individually toggleable for the ablation benches).
+struct ExecutionOptions {
+    Precision precision = Precision::Single;
+    Layout layout = Layout::XZY;  ///< XZY coalesces; ZXY pays the penalty
+    bool shared_memory_tiling = true;
+    bool occupancy_model = true;
+};
+
+struct KernelEstimate {
+    std::string name;
+    double flops = 0;
+    double bytes = 0;
+    double seconds = 0;
+    double arithmetic_intensity = 0;  ///< FLOP/Byte
+    double gflops = 0;
+    bool memory_bound = false;
+};
+
+class RooflineModel {
+  public:
+    RooflineModel(DeviceSpec device, ExecutionOptions options)
+        : dev_(std::move(device)), opt_(options) {}
+
+    const DeviceSpec& device() const { return dev_; }
+    const ExecutionOptions& options() const { return opt_; }
+
+    /// Bytes moved per element for a kernel signature. Stencil-neighbor
+    /// re-reads are partially served by the software-managed cache
+    /// (shared-memory tiles hold only a subset of the fields a kernel
+    /// touches — the paper tiles the advected variable, Fig. 3 — so a
+    /// device-specific fraction still reaches device memory).
+    double bytes_per_element(const KernelTraits& t) const {
+        double stencil_factor = 1.0;
+        if (opt_.shared_memory_tiling) {
+            stencil_factor = 1.0 - dev_.stencil_cache_effectiveness;
+        }
+        const double accesses =
+            t.reads + t.writes + t.stencil_reads * stencil_factor;
+        return accesses * static_cast<double>(bytes_of(opt_.precision));
+    }
+
+    /// Effective bandwidth for this execution [GB/s].
+    double effective_bandwidth() const {
+        double bw = dev_.mem_bandwidth_gbs * dev_.mem_efficiency;
+        if (opt_.layout == Layout::ZXY) {
+            // kij ordering: threads tiling an xz/xy plane stride through
+            // memory; GT200 cannot coalesce (paper Sec. IV-A-1).
+            bw /= dev_.uncoalesced_penalty;
+        }
+        return bw;
+    }
+
+    /// Latency-saturation factor for a kernel over n parallel elements.
+    double saturation(double n_elements) const {
+        if (!opt_.occupancy_model || dev_.half_occupancy_elems <= 0) {
+            return 1.0;
+        }
+        return n_elements / (n_elements + dev_.half_occupancy_elems);
+    }
+
+    /// Paper Eq. (6) for one kernel invocation of `elements` elements with
+    /// `flops_per_element` measured FLOPs.
+    KernelEstimate estimate(const std::string& name, const KernelTraits& t,
+                            double elements, double flops_per_element) const {
+        KernelEstimate e;
+        e.name = name;
+        if (elements <= 0) {
+            // Degenerate launch (e.g. a boundary strip on a rank with no
+            // neighbor on that side): only the dispatch overhead remains.
+            e.seconds = dev_.launch_overhead_s;
+            return e;
+        }
+        e.flops = flops_per_element * elements;
+        e.bytes = bytes_per_element(t) * elements;
+        const double sat = saturation(elements);
+        const double t_flop =
+            e.flops / (dev_.peak_gflops(opt_.precision) * 1e9 * sat);
+        const double t_mem = e.bytes / (effective_bandwidth() * 1e9 * sat);
+        const double alpha =
+            t.alpha_seconds_per_element * elements + dev_.launch_overhead_s;
+        e.seconds = t_flop + t_mem + alpha;
+        e.arithmetic_intensity = e.bytes > 0 ? e.flops / e.bytes : 0.0;
+        e.gflops = e.seconds > 0 ? e.flops / e.seconds / 1e9 : 0.0;
+        e.memory_bound = t_mem > t_flop;
+        return e;
+    }
+
+    KernelEstimate estimate(const KernelRecord& rec) const {
+        ASUCA_REQUIRE(rec.elements > 0,
+                      "kernel record '" << rec.name << "' has no elements");
+        return estimate(rec.name, rec.traits,
+                        static_cast<double>(rec.elements),
+                        rec.flops_per_element());
+    }
+
+    /// Roofline ceiling: attainable GFlops at a given arithmetic intensity
+    /// (the curved line of the paper's Fig. 5).
+    double attainable_gflops(double arithmetic_intensity) const {
+        const double mem_limited =
+            arithmetic_intensity * effective_bandwidth();
+        return std::min(dev_.peak_gflops(opt_.precision), mem_limited);
+    }
+
+  private:
+    DeviceSpec dev_;
+    ExecutionOptions opt_;
+};
+
+/// Model one full model step: sum Eq.-(6) times of all recorded kernels
+/// (each scaled from the calibration mesh to `elements_scale` times the
+/// recorded element counts).
+struct StepEstimate {
+    double seconds = 0;
+    double flops = 0;
+    double gflops = 0;
+    std::vector<KernelEstimate> kernels;
+};
+
+inline StepEstimate estimate_step(const std::vector<KernelRecord>& records,
+                                  const RooflineModel& model,
+                                  double elements_scale = 1.0) {
+    StepEstimate s;
+    for (const auto& rec : records) {
+        if (rec.elements == 0) continue;
+        KernelEstimate e = model.estimate(
+            rec.name, rec.traits,
+            static_cast<double>(rec.elements) * elements_scale /
+                static_cast<double>(rec.calls),
+            rec.flops_per_element());
+        // One estimate per call at the scaled size.
+        e.seconds *= static_cast<double>(rec.calls);
+        e.flops *= static_cast<double>(rec.calls);
+        e.bytes *= static_cast<double>(rec.calls);
+        s.seconds += e.seconds;
+        s.flops += e.flops;
+        s.kernels.push_back(e);
+    }
+    s.gflops = s.seconds > 0 ? s.flops / s.seconds / 1e9 : 0.0;
+    return s;
+}
+
+}  // namespace asuca::gpusim

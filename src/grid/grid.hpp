@@ -1,0 +1,243 @@
+// Grid: Arakawa-C / Lorenz grid in generalized terrain-following
+// coordinates, with precomputed metric terms.
+//
+// Coordinates follow the paper's Sec. II: horizontal coordinates are
+// Cartesian (x1=x, x2=y) and the vertical coordinate x3=zeta follows the
+// terrain. The height of a point is
+//
+//     z(x, y, zeta) = zeta + h(x, y) * (1 - zeta/ztop)^n ,
+//
+// n = 1 reproducing the basic terrain-following (Gal-Chen) transform and
+// n > 1 a hybrid transform whose terrain influence decays faster with
+// height (J then genuinely varies in all three directions, like ASUCA's
+// generalized coordinates). The Jacobian of the transform is
+// J = dz/dzeta and the slope terms zx = dz/dx|zeta, zy = dz/dy|zeta enter
+// the contravariant vertical velocity
+//
+//     u3 = ( w - u * zx - v * zy ) / J .
+//
+// Staggering (Arakawa C): scalars at cell centers; rho*u at x-faces
+// (extent nx+1), rho*v at y-faces (ny+1), rho*w at z-faces (nz+1, Lorenz).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/constants.hpp"
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+#include "src/field/array2.hpp"
+#include "src/field/array3.hpp"
+#include "src/grid/terrain.hpp"
+#include "src/grid/vertical_levels.hpp"
+
+namespace asuca {
+
+struct GridSpec {
+    Index nx = 0;
+    Index ny = 0;
+    Index nz = 0;
+    Index halo = 3;        ///< 3 covers the staggered momentum limiter stencils.
+    double dx = 1000.0;    ///< horizontal spacing [m]
+    double dy = 1000.0;
+    double ztop = 15000.0; ///< model top [m]
+    double vertical_stretch = 0.0;   ///< 0 = uniform levels
+    double terrain_decay_power = 1.0;
+    TerrainFunction terrain = flat_terrain();
+    double f_coriolis = 0.0;  ///< constant Coriolis parameter [s^-1]
+    Layout layout = Layout::XZY;
+};
+
+template <class T>
+class Grid {
+  public:
+    explicit Grid(const GridSpec& spec)
+        : spec_(spec),
+          levels_(spec.nz, spec.ztop, spec.vertical_stretch),
+          hsurf_(spec.nx, spec.ny, spec.halo + 1),
+          z_c_({spec.nx, spec.ny, spec.nz}, spec.halo, spec.layout),
+          j_c_({spec.nx, spec.ny, spec.nz}, spec.halo, spec.layout),
+          j_xf_({spec.nx + 1, spec.ny, spec.nz}, spec.halo, spec.layout),
+          j_yf_({spec.nx, spec.ny + 1, spec.nz}, spec.halo, spec.layout),
+          j_zf_({spec.nx, spec.ny, spec.nz + 1}, spec.halo, spec.layout),
+          zx_zf_({spec.nx, spec.ny, spec.nz + 1}, spec.halo, spec.layout),
+          zy_zf_({spec.nx, spec.ny, spec.nz + 1}, spec.halo, spec.layout),
+          dz_c_({spec.nx, spec.ny, spec.nz}, spec.halo, spec.layout) {
+        ASUCA_REQUIRE(spec.nx > 0 && spec.ny > 0 && spec.nz > 0,
+                      "grid extents must be positive");
+        ASUCA_REQUIRE(spec.halo >= 3, "dycore stencils need halo >= 3");
+        ASUCA_REQUIRE(spec.dx > 0 && spec.dy > 0, "grid spacing must be > 0");
+        build_terrain();
+        build_metrics();
+    }
+
+    const GridSpec& spec() const { return spec_; }
+    Index nx() const { return spec_.nx; }
+    Index ny() const { return spec_.ny; }
+    Index nz() const { return spec_.nz; }
+    Index halo() const { return spec_.halo; }
+    double dx() const { return spec_.dx; }
+    double dy() const { return spec_.dy; }
+    double ztop() const { return spec_.ztop; }
+    Layout layout() const { return spec_.layout; }
+    const VerticalLevels& levels() const { return levels_; }
+
+    /// Horizontal positions: cell center i and x-face i (face i sits
+    /// between cells i-1 and i, at x = i*dx).
+    double x_center(Index i) const { return (static_cast<double>(i) + 0.5) * spec_.dx; }
+    double x_face(Index i) const { return static_cast<double>(i) * spec_.dx; }
+    double y_center(Index j) const { return (static_cast<double>(j) + 0.5) * spec_.dy; }
+    double y_face(Index j) const { return static_cast<double>(j) * spec_.dy; }
+
+    /// zeta at layer center / interface.
+    double zeta_center(Index k) const { return levels_.center(k); }
+    double zeta_face(Index k) const { return levels_.face(k); }
+    /// zeta layer thickness of layer k.
+    double dzeta(Index k) const { return levels_.thickness(k); }
+
+    double f_coriolis() const { return spec_.f_coriolis; }
+
+    /// Surface height (valid in the halo ring as well).
+    const Array2<T>& hsurf() const { return hsurf_; }
+
+    /// Physical height of cell centers.
+    const Array3<T>& z_center() const { return z_c_; }
+    /// Jacobian dz/dzeta at centers and at the three face families.
+    const Array3<T>& jacobian() const { return j_c_; }
+    const Array3<T>& jacobian_xface() const { return j_xf_; }
+    const Array3<T>& jacobian_yface() const { return j_yf_; }
+    const Array3<T>& jacobian_zface() const { return j_zf_; }
+    /// Terrain slopes dz/dx, dz/dy at z-faces (for contravariant w).
+    const Array3<T>& slope_x_zface() const { return zx_zf_; }
+    const Array3<T>& slope_y_zface() const { return zy_zf_; }
+    /// Physical layer thickness dz at centers (J * dzeta).
+    const Array3<T>& dz_center() const { return dz_c_; }
+
+    /// Continuous transform helpers (used for initialization and tests).
+    /// The base is clamped at 0 so halo levels above the model top stay
+    /// well-defined for fractional decay powers.
+    double decay(double zeta) const {
+        const double base = std::max(0.0, 1.0 - zeta / spec_.ztop);
+        return std::pow(base, spec_.terrain_decay_power);
+    }
+    double ddecay_dzeta(double zeta) const {
+        const double n = spec_.terrain_decay_power;
+        const double base = std::max(0.0, 1.0 - zeta / spec_.ztop);
+        if (base == 0.0 && n < 1.0) return 0.0;
+        return -n / spec_.ztop * std::pow(base, n - 1.0);
+    }
+    double height_of(double h, double zeta) const {
+        return zeta + h * decay(zeta);
+    }
+    double jacobian_of(double h, double zeta) const {
+        return 1.0 + h * ddecay_dzeta(zeta);
+    }
+
+  private:
+    void build_terrain() {
+        const Index hh = hsurf_.halo();
+        double hmax = 0.0;
+        for (Index j = -hh; j < spec_.ny + hh; ++j) {
+            for (Index i = -hh; i < spec_.nx + hh; ++i) {
+                const double h = spec_.terrain(x_center(i), y_center(j));
+                ASUCA_REQUIRE(h >= 0.0 && h < spec_.ztop,
+                              "terrain height " << h << " out of [0, ztop)");
+                hsurf_(i, j) = static_cast<T>(h);
+                hmax = std::max(hmax, h);
+            }
+        }
+        ASUCA_REQUIRE(hmax < 0.9 * spec_.ztop,
+                      "terrain reaches " << hmax << " m, too close to ztop");
+    }
+
+    void build_metrics() {
+        const Index hl = spec_.halo;
+        const double dx = spec_.dx, dy = spec_.dy;
+        // Cell-center height, Jacobian and physical thickness.
+        for (Index j = -hl; j < spec_.ny + hl; ++j) {
+            for (Index k = -hl; k < spec_.nz + hl; ++k) {
+                const double zeta = clamped_zeta_center(k);
+                for (Index i = -hl; i < spec_.nx + hl; ++i) {
+                    const double h = static_cast<double>(hsurf_(i, j));
+                    z_c_(i, j, k) = static_cast<T>(height_of(h, zeta));
+                    j_c_(i, j, k) = static_cast<T>(jacobian_of(h, zeta));
+                    dz_c_(i, j, k) = static_cast<T>(jacobian_of(h, zeta) *
+                                                    clamped_dzeta(k));
+                }
+            }
+        }
+        // x-face Jacobian: terrain height interpolated to the face.
+        for (Index j = -hl; j < spec_.ny + hl; ++j) {
+            for (Index k = -hl; k < spec_.nz + hl; ++k) {
+                const double zeta = clamped_zeta_center(k);
+                for (Index i = -hl; i < spec_.nx + 1 + hl; ++i) {
+                    const double h =
+                        0.5 * (static_cast<double>(hsurf_(i - 1, j)) +
+                               static_cast<double>(hsurf_(i, j)));
+                    j_xf_(i, j, k) = static_cast<T>(jacobian_of(h, zeta));
+                }
+            }
+        }
+        // y-face Jacobian.
+        for (Index j = -hl; j < spec_.ny + 1 + hl; ++j) {
+            for (Index k = -hl; k < spec_.nz + hl; ++k) {
+                const double zeta = clamped_zeta_center(k);
+                for (Index i = -hl; i < spec_.nx + hl; ++i) {
+                    const double h =
+                        0.5 * (static_cast<double>(hsurf_(i, j - 1)) +
+                               static_cast<double>(hsurf_(i, j)));
+                    j_yf_(i, j, k) = static_cast<T>(jacobian_of(h, zeta));
+                }
+            }
+        }
+        // z-face Jacobian and slopes (zeta at the interface).
+        for (Index j = -hl; j < spec_.ny + hl; ++j) {
+            for (Index k = -hl; k < spec_.nz + 1 + hl; ++k) {
+                const double zeta = clamped_zeta_face(k);
+                for (Index i = -hl; i < spec_.nx + hl; ++i) {
+                    const double h = static_cast<double>(hsurf_(i, j));
+                    j_zf_(i, j, k) = static_cast<T>(jacobian_of(h, zeta));
+                    const double dhdx =
+                        (static_cast<double>(hsurf_(i + 1, j)) -
+                         static_cast<double>(hsurf_(i - 1, j))) / (2.0 * dx);
+                    const double dhdy =
+                        (static_cast<double>(hsurf_(i, j + 1)) -
+                         static_cast<double>(hsurf_(i, j - 1))) / (2.0 * dy);
+                    zx_zf_(i, j, k) = static_cast<T>(dhdx * decay(zeta));
+                    zy_zf_(i, j, k) = static_cast<T>(dhdy * decay(zeta));
+                }
+            }
+        }
+    }
+
+    /// zeta of (possibly halo) center index k, extended linearly past the
+    /// physical column so metric arrays are well-defined in halos.
+    double clamped_zeta_center(Index k) const {
+        if (k < 0) return levels_.center(0) + static_cast<double>(k) * levels_.thickness(0);
+        if (k >= spec_.nz)
+            return levels_.center(spec_.nz - 1) +
+                   static_cast<double>(k - spec_.nz + 1) *
+                       levels_.thickness(spec_.nz - 1);
+        return levels_.center(k);
+    }
+    double clamped_zeta_face(Index k) const {
+        if (k < 0) return static_cast<double>(k) * levels_.thickness(0);
+        if (k > spec_.nz)
+            return levels_.face(spec_.nz) +
+                   static_cast<double>(k - spec_.nz) *
+                       levels_.thickness(spec_.nz - 1);
+        return levels_.face(k);
+    }
+    double clamped_dzeta(Index k) const {
+        if (k < 0) return levels_.thickness(0);
+        if (k >= spec_.nz) return levels_.thickness(spec_.nz - 1);
+        return levels_.thickness(k);
+    }
+
+    GridSpec spec_;
+    VerticalLevels levels_;
+    Array2<T> hsurf_;
+    Array3<T> z_c_, j_c_, j_xf_, j_yf_, j_zf_, zx_zf_, zy_zf_, dz_c_;
+};
+
+}  // namespace asuca

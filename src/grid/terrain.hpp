@@ -1,0 +1,52 @@
+// Terrain (surface height) generators.
+//
+// The paper's single-GPU benchmark is the mountain-wave test of Satomura et
+// al. (st-MIP): an ideal isolated mountain at the domain center. We provide
+// the classical bell-shaped (Witch of Agnesi) profile in ridge (2-D) and
+// isolated (3-D) variants plus flat terrain for dynamics-only tests.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+namespace asuca {
+
+/// Surface height as a function of horizontal position [m].
+using TerrainFunction = std::function<double(double x, double y)>;
+
+inline TerrainFunction flat_terrain() {
+    return [](double, double) { return 0.0; };
+}
+
+/// Infinite ridge along y: h(x) = hm / (1 + ((x-xc)/a)^2).
+inline TerrainFunction bell_ridge(double height, double half_width,
+                                  double x_center) {
+    return [=](double x, double /*y*/) {
+        const double r = (x - x_center) / half_width;
+        return height / (1.0 + r * r);
+    };
+}
+
+/// Isolated 3-D bell mountain: h = hm / (1 + r^2/a^2)^(3/2).
+inline TerrainFunction bell_mountain(double height, double half_width,
+                                     double x_center, double y_center) {
+    return [=](double x, double y) {
+        const double dx = (x - x_center) / half_width;
+        const double dy = (y - y_center) / half_width;
+        const double q = 1.0 + dx * dx + dy * dy;
+        return height / (q * std::sqrt(q));
+    };
+}
+
+/// Smooth cosine hill with compact support of radius `radius`.
+inline TerrainFunction cosine_hill(double height, double radius,
+                                   double x_center, double y_center) {
+    return [=](double x, double y) {
+        const double r = std::hypot(x - x_center, y - y_center);
+        if (r >= radius) return 0.0;
+        const double c = std::cos(0.5 * M_PI * r / radius);
+        return height * c * c;
+    };
+}
+
+}  // namespace asuca

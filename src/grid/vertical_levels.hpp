@@ -1,0 +1,63 @@
+// Vertical level generator for the generalized coordinate zeta in [0, ztop].
+//
+// ASUCA (like JMA-NHM) uses a Lorenz grid: scalars at layer centers, vertical
+// velocity at layer interfaces. Levels may be uniform or tanh-stretched so
+// that resolution concentrates near the surface, which is what production
+// configurations do.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+
+namespace asuca {
+
+class VerticalLevels {
+  public:
+    /// `stretch == 0` gives uniform spacing; larger values concentrate
+    /// levels near the surface (tanh profile).
+    VerticalLevels(Index nz, double ztop, double stretch = 0.0)
+        : nz_(nz), ztop_(ztop) {
+        ASUCA_REQUIRE(nz >= 2, "need at least 2 vertical levels, got " << nz);
+        ASUCA_REQUIRE(ztop > 0.0, "ztop must be positive, got " << ztop);
+        ASUCA_REQUIRE(stretch >= 0.0, "stretch must be >= 0");
+        faces_.resize(static_cast<std::size_t>(nz + 1));
+        centers_.resize(static_cast<std::size_t>(nz));
+        for (Index k = 0; k <= nz; ++k) {
+            const double s = static_cast<double>(k) / static_cast<double>(nz);
+            double f = s;
+            if (stretch > 0.0) {
+                // Inverted tanh: flat near s=0 (thin surface layers),
+                // steep near s=1 (thick layers aloft).
+                f = 1.0 - std::tanh(stretch * (1.0 - s)) / std::tanh(stretch);
+            }
+            faces_[static_cast<std::size_t>(k)] = ztop * f;
+        }
+        for (Index k = 0; k < nz; ++k) {
+            centers_[static_cast<std::size_t>(k)] =
+                0.5 * (face(k) + face(k + 1));
+        }
+    }
+
+    Index nz() const { return nz_; }
+    double ztop() const { return ztop_; }
+
+    /// Interface height k-1/2 (0-based: face(0)=0 surface, face(nz)=ztop).
+    double face(Index k) const { return faces_[static_cast<std::size_t>(k)]; }
+    /// Layer-center height of layer k in [0, nz).
+    double center(Index k) const {
+        return centers_[static_cast<std::size_t>(k)];
+    }
+    /// Layer thickness in zeta of layer k.
+    double thickness(Index k) const { return face(k + 1) - face(k); }
+
+  private:
+    Index nz_;
+    double ztop_;
+    std::vector<double> faces_;
+    std::vector<double> centers_;
+};
+
+}  // namespace asuca

@@ -1,0 +1,144 @@
+// CountingReal: a floating-point wrapper that counts arithmetic operations.
+//
+// The entire dycore is templated on its scalar type; instantiating it with
+// CountingReal and running a step yields the exact per-kernel FLOP counts
+// (via the KernelRegistry, which snapshots the global FlopCounter around
+// each kernel). Numerical results are bit-identical to the wrapped type.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+
+#include "src/instrument/flop_counter.hpp"
+
+namespace asuca {
+
+template <class B>
+struct CountingReal {
+    B v{};
+
+    constexpr CountingReal() = default;
+    // Implicit from the base type keeps mixed literal arithmetic working;
+    // conversion *out* is explicit so expressions stay inside the wrapper.
+    constexpr CountingReal(B value) : v(value) {}
+    constexpr CountingReal(int value) : v(static_cast<B>(value)) {}
+    constexpr CountingReal(double value)
+        requires(!std::is_same_v<B, double>)
+        : v(static_cast<B>(value)) {}
+
+    explicit constexpr operator B() const { return v; }
+    explicit constexpr operator double() const
+        requires(!std::is_same_v<B, double>)
+    {
+        return static_cast<double>(v);
+    }
+    explicit constexpr operator float() const
+        requires(!std::is_same_v<B, float>)
+    {
+        return static_cast<float>(v);
+    }
+
+    CountingReal& operator+=(CountingReal o) {
+        FlopCounter::add(flop_weights::basic);
+        v += o.v;
+        return *this;
+    }
+    CountingReal& operator-=(CountingReal o) {
+        FlopCounter::add(flop_weights::basic);
+        v -= o.v;
+        return *this;
+    }
+    CountingReal& operator*=(CountingReal o) {
+        FlopCounter::add(flop_weights::basic);
+        v *= o.v;
+        return *this;
+    }
+    CountingReal& operator/=(CountingReal o) {
+        FlopCounter::add(flop_weights::basic);
+        v /= o.v;
+        return *this;
+    }
+
+    friend CountingReal operator+(CountingReal a, CountingReal b) {
+        FlopCounter::add(flop_weights::basic);
+        return CountingReal(a.v + b.v);
+    }
+    friend CountingReal operator-(CountingReal a, CountingReal b) {
+        FlopCounter::add(flop_weights::basic);
+        return CountingReal(a.v - b.v);
+    }
+    friend CountingReal operator*(CountingReal a, CountingReal b) {
+        FlopCounter::add(flop_weights::basic);
+        return CountingReal(a.v * b.v);
+    }
+    friend CountingReal operator/(CountingReal a, CountingReal b) {
+        FlopCounter::add(flop_weights::basic);
+        return CountingReal(a.v / b.v);
+    }
+    friend CountingReal operator-(CountingReal a) {
+        FlopCounter::add(flop_weights::basic);
+        return CountingReal(-a.v);
+    }
+    friend CountingReal operator+(CountingReal a) { return a; }
+
+    friend bool operator<(CountingReal a, CountingReal b) { return a.v < b.v; }
+    friend bool operator>(CountingReal a, CountingReal b) { return a.v > b.v; }
+    friend bool operator<=(CountingReal a, CountingReal b) {
+        return a.v <= b.v;
+    }
+    friend bool operator>=(CountingReal a, CountingReal b) {
+        return a.v >= b.v;
+    }
+    friend bool operator==(CountingReal a, CountingReal b) {
+        return a.v == b.v;
+    }
+    friend bool operator!=(CountingReal a, CountingReal b) {
+        return a.v != b.v;
+    }
+
+    // Math functions found by ADL (kernels write `using std::exp;` etc.).
+    friend CountingReal sqrt(CountingReal a) {
+        FlopCounter::add(flop_weights::sqrt_w);
+        return CountingReal(std::sqrt(a.v));
+    }
+    friend CountingReal exp(CountingReal a) {
+        FlopCounter::add(flop_weights::exp_w);
+        return CountingReal(std::exp(a.v));
+    }
+    friend CountingReal log(CountingReal a) {
+        FlopCounter::add(flop_weights::log_w);
+        return CountingReal(std::log(a.v));
+    }
+    friend CountingReal pow(CountingReal a, CountingReal b) {
+        FlopCounter::add(flop_weights::pow_w);
+        return CountingReal(std::pow(a.v, b.v));
+    }
+    friend CountingReal abs(CountingReal a) { return CountingReal(std::abs(a.v)); }
+    friend CountingReal fabs(CountingReal a) {
+        return CountingReal(std::abs(a.v));
+    }
+    friend CountingReal max(CountingReal a, CountingReal b) {
+        return a.v >= b.v ? a : b;
+    }
+    friend CountingReal min(CountingReal a, CountingReal b) {
+        return a.v <= b.v ? a : b;
+    }
+    friend CountingReal sin(CountingReal a) {
+        FlopCounter::add(flop_weights::trig_w);
+        return CountingReal(std::sin(a.v));
+    }
+    friend CountingReal cos(CountingReal a) {
+        FlopCounter::add(flop_weights::trig_w);
+        return CountingReal(std::cos(a.v));
+    }
+    friend CountingReal tanh(CountingReal a) {
+        FlopCounter::add(flop_weights::trig_w);
+        return CountingReal(std::tanh(a.v));
+    }
+};
+
+/// Standard instantiation used for FLOP calibration runs.
+using CountedDouble = CountingReal<double>;
+
+}  // namespace asuca

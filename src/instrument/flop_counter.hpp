@@ -1,0 +1,44 @@
+// Global floating-point operation counter, incremented by CountingReal.
+//
+// This is the reproduction's substitute for the paper's PAPI hardware
+// counters (Sec. IV-B): the paper counts the floating-point operations of
+// the CPU reference code and divides measured/modeled kernel times by them
+// to obtain GFlops. We count by instrumenting the arithmetic type the
+// kernels are templated on, which by construction counts exactly the
+// operations the numerics perform.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace asuca {
+
+class FlopCounter {
+  public:
+    static void add(std::uint64_t n) {
+        count_.fetch_add(n, std::memory_order_relaxed);
+    }
+    static std::uint64_t value() {
+        return count_.load(std::memory_order_relaxed);
+    }
+    static void reset() { count_.store(0, std::memory_order_relaxed); }
+
+  private:
+    static inline std::atomic<std::uint64_t> count_{0};
+};
+
+/// Operation weights for transcendental functions: a hardware FP counter
+/// sees the polynomial evaluation inside libm, not "one exp". These
+/// weights approximate retired-FLOP counts of typical libm kernels and are
+/// documented in EXPERIMENTS.md; headline numbers are insensitive to them
+/// because the dynamical core is dominated by +-*/ (weight 1).
+namespace flop_weights {
+inline constexpr std::uint64_t basic = 1;   // + - * /
+inline constexpr std::uint64_t sqrt_w = 1;  // hardware instruction
+inline constexpr std::uint64_t exp_w = 10;
+inline constexpr std::uint64_t log_w = 10;
+inline constexpr std::uint64_t pow_w = 20;  // exp(log x * y)
+inline constexpr std::uint64_t trig_w = 10;
+}  // namespace flop_weights
+
+}  // namespace asuca

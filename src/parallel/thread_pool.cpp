@@ -1,0 +1,102 @@
+#include "src/parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace asuca {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads - 1);
+    for (std::size_t t = 0; t + 1 < num_threads; ++t) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool;
+    return pool;
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        Task task;
+        const std::function<void(Index, Index)>* body = nullptr;
+        {
+            std::unique_lock lock(mutex_);
+            cv_work_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty()) return;
+            task = tasks_.front();
+            tasks_.pop();
+            body = body_;
+            ++in_flight_;
+        }
+        try {
+            (*body)(task.begin, task.end);
+        } catch (...) {
+            std::lock_guard lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+        {
+            std::lock_guard lock(mutex_);
+            --in_flight_;
+        }
+        cv_done_.notify_all();
+    }
+}
+
+void ThreadPool::parallel_for(Index n,
+                              const std::function<void(Index, Index)>& body) {
+    if (n <= 0) return;
+    const auto threads = static_cast<Index>(num_threads());
+    if (threads == 1 || n == 1) {
+        body(0, n);
+        return;
+    }
+    // Over-decompose mildly (2 chunks per thread) for load balance; loop
+    // bodies in the dycore have uniform cost so this is sufficient.
+    const Index chunks = std::min(n, threads * 2);
+    const Index chunk = (n + chunks - 1) / chunks;
+    {
+        std::lock_guard lock(mutex_);
+        ASUCA_ASSERT(tasks_.empty() && in_flight_ == 0,
+                     "nested parallel_for on the same pool is not supported");
+        body_ = &body;
+        first_error_ = nullptr;
+        for (Index b = chunk; b < n; b += chunk) {
+            tasks_.push(Task{b, std::min(b + chunk, n)});
+        }
+    }
+    cv_work_.notify_all();
+    // The caller runs the first chunk itself.
+    try {
+        body(0, std::min(chunk, n));
+    } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+        std::unique_lock lock(mutex_);
+        cv_done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+        body_ = nullptr;
+        if (first_error_) {
+            auto err = first_error_;
+            first_error_ = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+}
+
+}  // namespace asuca

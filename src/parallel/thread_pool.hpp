@@ -1,0 +1,75 @@
+// A small work-sharing thread pool: the shared-memory parallel substrate the
+// CPU reference implementation runs on (the role OpenMP plays in the
+// original Fortran ASUCA).
+//
+// Design: fixed worker count decided at construction, a single mutex-guarded
+// task queue (loop bodies are coarse-grained chunks, so queue contention is
+// negligible), and a `parallel_for` front-end that blocks the caller until
+// every chunk completes. Exceptions thrown by loop bodies are captured and
+// rethrown on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace asuca {
+
+class ThreadPool {
+  public:
+    /// `num_threads == 0` selects the hardware concurrency (minimum 1).
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t num_threads() const { return workers_.size() + 1; }
+
+    /// Run `body(begin, end)` over chunked subranges of [0, n) in parallel
+    /// and wait for completion. The calling thread participates.
+    void parallel_for(Index n, const std::function<void(Index, Index)>& body);
+
+    /// Convenience: per-index body.
+    void parallel_for_each(Index n, const std::function<void(Index)>& body) {
+        parallel_for(n, [&](Index b, Index e) {
+            for (Index i = b; i < e; ++i) body(i);
+        });
+    }
+
+    /// Process-wide pool, sized from the hardware. Constructed on first use.
+    static ThreadPool& global();
+
+  private:
+    struct Task {
+        Index begin = 0;
+        Index end = 0;
+    };
+
+    void worker_loop();
+    void run_tasks(const std::function<void(Index, Index)>& body);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::queue<Task> tasks_;
+    const std::function<void(Index, Index)>* body_ = nullptr;
+    std::size_t in_flight_ = 0;
+    std::exception_ptr first_error_;
+    bool stopping_ = false;
+};
+
+/// Shorthand for the global pool's parallel_for.
+inline void parallel_for(Index n, const std::function<void(Index, Index)>& body) {
+    ThreadPool::global().parallel_for(n, body);
+}
+
+}  // namespace asuca

@@ -1,0 +1,254 @@
+// Kessler-type warm rain microphysics (paper Sec. II: "ASUCA employs a
+// Kessler-type warm-rain scheme for cloud-microphysics parameterization
+// ... also used in the JMA-NHM"; Fig. 5 kernel (5)).
+//
+// Processes, with the classical Kessler / Klemp–Wilhelmson (1978)
+// formulation and constants:
+//
+//   * saturation adjustment   : condensation of vapor to cloud /
+//                               evaporation of cloud, with latent heating
+//   * autoconversion          : cloud -> rain above threshold,
+//                               P = k1 * (qc - a)
+//   * accretion (collection)  : P = k2 * qc * qr^0.875
+//   * rain evaporation        : ventilated evaporation in subsaturated air
+//   * sedimentation           : upwind flux-form fall of rain with
+//                               V_t = 36.34 (rho qr)^0.1364 sqrt(rho0/rho),
+//                               CFL sub-stepped; surface flux accumulates
+//                               as precipitation [mm]
+//
+// The scheme is intentionally rich in exp/log/pow so its arithmetic
+// intensity matches the "compute-bound" character the paper reports for
+// this kernel.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/constants.hpp"
+#include "src/core/eos.hpp"
+#include "src/core/species.hpp"
+#include "src/core/state.hpp"
+#include "src/field/array2.hpp"
+#include "src/grid/grid.hpp"
+#include "src/instrument/kernel_registry.hpp"
+#include "src/parallel/thread_pool.hpp"
+
+namespace asuca {
+
+struct KesslerConfig {
+    double autoconversion_rate = 1.0e-3;      ///< k1 [s^-1]
+    double autoconversion_threshold = 1.0e-3; ///< a  [kg/kg]
+    double accretion_rate = 2.2;              ///< k2 [s^-1]
+    bool rain_evaporation = true;
+    bool sedimentation = true;
+    double cfl_safety = 0.9;
+};
+
+template <class T>
+class Kessler {
+  public:
+    Kessler(const Grid<T>& grid, const KesslerConfig& config)
+        : grid_(grid), cfg_(config),
+          precip_mm_(grid.nx(), grid.ny(), 0, 0.0),
+          precip_rate_(grid.nx(), grid.ny(), 0, 0.0) {}
+
+    /// Accumulated surface precipitation [mm] and latest rate [mm/h].
+    const Array2<double>& accumulated_precip() const { return precip_mm_; }
+    const Array2<double>& precip_rate() const { return precip_rate_; }
+
+    /// Apply microphysics over dt (operator-split after dynamics).
+    /// Requires Vapor, Cloud and Rain to be active species.
+    void apply(State<T>& s, double dt) {
+        ASUCA_REQUIRE(s.species.contains(Species::Vapor) &&
+                          s.species.contains(Species::Cloud) &&
+                          s.species.contains(Species::Rain),
+                      "Kessler needs qv, qc, qr active");
+        column_processes(s, dt);
+        if (cfg_.sedimentation) sedimentation(s, dt);
+    }
+
+  private:
+    void column_processes(State<T>& s, double dt) {
+        using std::exp;
+        using std::pow;
+        using namespace constants;
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        KernelScope scope("warm_rain", {/*reads=*/6, /*writes=*/4, 0},
+                          static_cast<std::uint64_t>(nx * ny * nz));
+
+        auto& qv_f = s.tracer(Species::Vapor);
+        auto& qc_f = s.tracer(Species::Cloud);
+        auto& qr_f = s.tracer(Species::Rain);
+
+        parallel_for(ny, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                for (Index i = 0; i < nx; ++i) {
+                    const T rho = s.rho(i, j, k);
+                    const T p = s.p(i, j, k);
+                    T qv = qv_f(i, j, k) / rho;
+                    T qc = qc_f(i, j, k) / rho;
+                    T qr = qr_f(i, j, k) / rho;
+                    // theta from theta_m (invert the moist factor).
+                    const T moist =
+                        T(1) - qv - qc - qr + T(eps_vd) * qv;
+                    T theta = s.rhotheta(i, j, k) / (rho * moist);
+                    const T pi = exner(p);
+                    T tem = theta * pi;
+
+                    // --- saturation adjustment (vapor <-> cloud) ---
+                    // Iterated Newton adjustment: qvs depends on T, which
+                    // the latent heating changes, so a fixed number of
+                    // iterations (3, standard practice) converges the
+                    // vapor/cloud partition.
+                    const T eps_rd = T(Rd / Rv);
+                    const T gam = T(Lv / cpd) / pi;  // d(theta)/d(qv)
+                    T qvs = T(0);
+                    for (int it = 0; it < 3; ++it) {
+                        const T es =
+                            T(es0) * exp(T(tetens_a) * (tem - T(T0)) /
+                                         (tem - T(tetens_b)));
+                        qvs = eps_rd * es / (p - (T(1) - eps_rd) * es);
+                        const T denom =
+                            T(1) +
+                            T(Lv * Lv / (cpd * Rv)) * qvs / (tem * tem);
+                        T dq = (qv - qvs) / denom;
+                        if (dq < T(0)) {
+                            // Evaporate at most the available cloud water.
+                            if (-dq > qc) dq = -qc;
+                        }
+                        qv -= dq;
+                        qc += dq;
+                        theta += gam * dq;
+                        tem = theta * pi;
+                    }
+
+                    // --- autoconversion and accretion (cloud -> rain) ---
+                    T dqrain = T(0);
+                    const T excess = qc - T(cfg_.autoconversion_threshold);
+                    if (excess > T(0)) {
+                        dqrain += T(cfg_.autoconversion_rate) * excess *
+                                  T(dt);
+                    }
+                    if (qc > T(0) && qr > T(0)) {
+                        dqrain += T(cfg_.accretion_rate) * qc *
+                                  pow(qr, T(0.875)) * T(dt);
+                    }
+                    if (dqrain > qc) dqrain = qc;
+                    qc -= dqrain;
+                    qr += dqrain;
+
+                    // --- rain evaporation in subsaturated air (KW78) ---
+                    if (cfg_.rain_evaporation && qr > T(0) && qv < qvs) {
+                        const T rqr = rho * qr;  // [kg m^-3]
+                        const T vent =
+                            T(1.6) + T(124.9) * pow(T(1e-3) * rqr, T(0.2046));
+                        const T er =
+                            (T(1) - qv / qvs) * vent *
+                            pow(T(1e-3) * rqr, T(0.525)) /
+                            ((T(5.4e5) +
+                              T(2.55e6) / (T(1e-2) * p * qvs)) *
+                             T(1e-3) * rho);
+                        T devap = er * T(dt);
+                        if (devap > qr) devap = qr;
+                        if (devap > qvs - qv) devap = qvs - qv;
+                        if (devap < T(0)) devap = T(0);
+                        qr -= devap;
+                        qv += devap;
+                        theta -= gam * devap;
+                    }
+
+                    // --- write back (rho unchanged by these processes) ---
+                    qv_f(i, j, k) = rho * qv;
+                    qc_f(i, j, k) = rho * qc;
+                    qr_f(i, j, k) = rho * qr;
+                    const T moist_new =
+                        T(1) - qv - qc - qr + T(eps_vd) * qv;
+                    s.rhotheta(i, j, k) = rho * theta * moist_new;
+                }
+            }
+        }
+        });
+    }
+
+    void sedimentation(State<T>& s, double dt) {
+        using std::pow;
+        using std::sqrt;
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        KernelScope scope("precipitation", {/*reads=*/3, /*writes=*/3, 2},
+                          static_cast<std::uint64_t>(nx * ny * nz));
+        auto& qr_f = s.tracer(Species::Rain);
+        const auto& dz = grid_.dz_center();
+        const double rho0 = 1.225;  // surface reference density [kg m^-3]
+
+        std::vector<double> vt(static_cast<std::size_t>(nz));
+        std::vector<double> rqr(static_cast<std::size_t>(nz));
+        for (Index j = 0; j < ny; ++j) {
+            for (Index i = 0; i < nx; ++i) {
+                // Column copy + terminal velocity; CFL-based sub-stepping.
+                double vt_max = 0.0, dz_min = 1e30;
+                for (Index k = 0; k < nz; ++k) {
+                    const auto ku = static_cast<std::size_t>(k);
+                    rqr[ku] = std::max(
+                        0.0, static_cast<double>(qr_f(i, j, k)));
+                    const double rho =
+                        static_cast<double>(s.rho(i, j, k));
+                    vt[ku] = 36.34 * std::pow(1e-3 * rqr[ku], 0.1364) *
+                             std::sqrt(rho0 / rho);
+                    vt_max = std::max(vt_max, vt[ku]);
+                    dz_min = std::min(dz_min,
+                                      static_cast<double>(dz(i, j, k)));
+                }
+                int nsub = 1;
+                if (vt_max > 0.0) {
+                    nsub = std::max(
+                        1, static_cast<int>(std::ceil(
+                               dt * vt_max / (cfg_.cfl_safety * dz_min))));
+                }
+                const double dts = dt / nsub;
+                double surface_kg_m2 = 0.0;
+                for (int step = 0; step < nsub; ++step) {
+                    // Downward upwind fluxes through cell bottoms.
+                    double flux_above = 0.0;  // from the model top: none
+                    for (Index k = nz - 1; k >= 0; --k) {
+                        const auto ku = static_cast<std::size_t>(k);
+                        const double flux_out = vt[ku] * rqr[ku];
+                        const double dzk =
+                            static_cast<double>(dz(i, j, k));
+                        rqr[ku] += dts * (flux_above - flux_out) / dzk;
+                        if (rqr[ku] < 0.0) rqr[ku] = 0.0;
+                        flux_above = flux_out;
+                        if (k == 0) surface_kg_m2 += dts * flux_out;
+                    }
+                    // Refresh fall speeds between substeps.
+                    for (Index k = 0; k < nz; ++k) {
+                        const auto ku = static_cast<std::size_t>(k);
+                        const double rho =
+                            static_cast<double>(s.rho(i, j, k));
+                        vt[ku] = 36.34 * std::pow(1e-3 * rqr[ku], 0.1364) *
+                                 std::sqrt(rho0 / rho);
+                    }
+                }
+                // Write back; the removed rain mass also leaves rho
+                // (the paper's F_rho precipitation term).
+                for (Index k = 0; k < nz; ++k) {
+                    const auto ku = static_cast<std::size_t>(k);
+                    const double before =
+                        static_cast<double>(qr_f(i, j, k));
+                    qr_f(i, j, k) = static_cast<T>(rqr[ku]);
+                    s.rho(i, j, k) += static_cast<T>(rqr[ku] - before);
+                }
+                // 1 kg/m^2 of water is 1 mm of precipitation.
+                precip_mm_(i, j) += surface_kg_m2;
+                precip_rate_(i, j) = surface_kg_m2 / dt * 3600.0;
+            }
+        }
+    }
+
+    const Grid<T>& grid_;
+    KesslerConfig cfg_;
+    Array2<double> precip_mm_;
+    Array2<double> precip_rate_;
+};
+
+}  // namespace asuca

@@ -1,0 +1,164 @@
+// Generalized precipitation sedimentation for all falling hydrometeors.
+//
+// The paper's operational configuration precipitates rain only (warm
+// rain); supporting "a wider variety of physics processes such as snow"
+// is named as future work (Sec. VI). This module provides that extension
+// path: every precipitating species (rain, snow, graupel, hail) falls
+// with its power-law terminal velocity
+//
+//     V_t = a * (rho * q)^b * sqrt(rho0 / rho)        [m/s], rho*q in kg/m^3
+//
+// (constants chosen to match Lin et al. 1983 / JMA-NHM magnitudes:
+// ~5.5 m/s rain, ~1 m/s snow, ~3.5 m/s graupel, ~8 m/s hail at 1 g/m^3),
+// integrated with upwind
+// flux-form column sweeps under a CFL-limited sub-step, accumulating the
+// surface flux per species. The removed mass also leaves the total
+// density (the paper's F_rho precipitation term).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/species.hpp"
+#include "src/core/state.hpp"
+#include "src/field/array2.hpp"
+#include "src/grid/grid.hpp"
+#include "src/instrument/kernel_registry.hpp"
+
+namespace asuca {
+
+/// Terminal-velocity law V_t = a * (rho q)^b * sqrt(rho0/rho).
+struct FallLaw {
+    double a = 0.0;
+    double b = 0.0;
+
+    double velocity(double rho_q, double rho, double rho0 = 1.225) const {
+        if (rho_q <= 0.0) return 0.0;
+        return a * std::pow(rho_q, b) * std::sqrt(rho0 / rho);
+    }
+};
+
+/// Species fall laws (rain: Kessler/KW78 rewritten for rho*q in kg/m^3;
+/// ice categories: Lin-type magnitudes).
+inline FallLaw fall_law_of(Species s) {
+    switch (s) {
+        case Species::Rain:    return {14.2, 0.1364};
+        case Species::Snow:    return {5.6, 0.25};
+        case Species::Graupel: return {55.5, 0.4};
+        case Species::Hail:    return {253.0, 0.5};
+        default:               return {0.0, 0.0};
+    }
+}
+
+struct SedimentationConfig {
+    double cfl_safety = 0.9;
+};
+
+template <class T>
+class Sedimentation {
+  public:
+    Sedimentation(const Grid<T>& grid, SedimentationConfig config = {})
+        : grid_(grid), cfg_(config) {
+        for (int n = 0; n < kNumSpecies; ++n) {
+            precip_mm_.emplace_back(grid.nx(), grid.ny(), 0, 0.0);
+        }
+    }
+
+    /// Accumulated surface precipitation of one species [mm].
+    const Array2<double>& accumulated(Species s) const {
+        return precip_mm_[static_cast<std::size_t>(s)];
+    }
+
+    /// Total accumulated precipitation over all species [mm].
+    double total_at(Index i, Index j) const {
+        double sum = 0.0;
+        for (const auto& p : precip_mm_) sum += p(i, j);
+        return sum;
+    }
+
+    /// Apply fall + surface accumulation to every active precipitating
+    /// species over dt.
+    void apply(State<T>& s, double dt) {
+        KernelScope scope("sedimentation_all",
+                          {/*reads=*/3, /*writes=*/3, 2},
+                          static_cast<std::uint64_t>(
+                              grid_.nx() * grid_.ny() * grid_.nz() *
+                              static_cast<Index>(s.species.count())));
+        for (std::size_t n = 0; n < s.species.count(); ++n) {
+            const Species sp = s.species.at(n);
+            if (!has_fall_speed(sp)) continue;
+            fall_species(s, sp, dt);
+        }
+    }
+
+    /// Fall one species only (used when another scheme owns the rest).
+    void apply_species(State<T>& s, Species sp, double dt) {
+        if (!has_fall_speed(sp)) return;
+        fall_species(s, sp, dt);
+    }
+
+  private:
+    void fall_species(State<T>& s, Species sp, double dt) {
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        const FallLaw law = fall_law_of(sp);
+        auto& q_f = s.tracer(sp);
+        auto& precip = precip_mm_[static_cast<std::size_t>(sp)];
+        const auto& dz = grid_.dz_center();
+
+        std::vector<double> vt(static_cast<std::size_t>(nz));
+        std::vector<double> rq(static_cast<std::size_t>(nz));
+        for (Index j = 0; j < ny; ++j) {
+            for (Index i = 0; i < nx; ++i) {
+                double vt_max = 0.0, dz_min = 1e30;
+                for (Index k = 0; k < nz; ++k) {
+                    const auto ku = static_cast<std::size_t>(k);
+                    rq[ku] = std::max(
+                        0.0, static_cast<double>(q_f(i, j, k)));
+                    vt[ku] = law.velocity(
+                        rq[ku], static_cast<double>(s.rho(i, j, k)));
+                    vt_max = std::max(vt_max, vt[ku]);
+                    dz_min = std::min(
+                        dz_min, static_cast<double>(dz(i, j, k)));
+                }
+                if (vt_max == 0.0) continue;
+                const int nsub = std::max(
+                    1, static_cast<int>(std::ceil(
+                           dt * vt_max / (cfg_.cfl_safety * dz_min))));
+                const double dts = dt / nsub;
+                double surface = 0.0;
+                for (int step = 0; step < nsub; ++step) {
+                    double flux_above = 0.0;
+                    for (Index k = nz - 1; k >= 0; --k) {
+                        const auto ku = static_cast<std::size_t>(k);
+                        const double flux_out = vt[ku] * rq[ku];
+                        rq[ku] += dts * (flux_above - flux_out) /
+                                  static_cast<double>(dz(i, j, k));
+                        if (rq[ku] < 0.0) rq[ku] = 0.0;
+                        flux_above = flux_out;
+                        if (k == 0) surface += dts * flux_out;
+                    }
+                    for (Index k = 0; k < nz; ++k) {
+                        const auto ku = static_cast<std::size_t>(k);
+                        vt[ku] = law.velocity(
+                            rq[ku], static_cast<double>(s.rho(i, j, k)));
+                    }
+                }
+                for (Index k = 0; k < nz; ++k) {
+                    const auto ku = static_cast<std::size_t>(k);
+                    const double before =
+                        static_cast<double>(q_f(i, j, k));
+                    q_f(i, j, k) = static_cast<T>(rq[ku]);
+                    s.rho(i, j, k) += static_cast<T>(rq[ku] - before);
+                }
+                precip(i, j) += surface;
+            }
+        }
+    }
+
+    const Grid<T>& grid_;
+    SedimentationConfig cfg_;
+    std::vector<Array2<double>> precip_mm_;
+};
+
+}  // namespace asuca

@@ -1,0 +1,123 @@
+// Simple surface-layer physics: bulk-aerodynamic momentum drag and
+// sensible/latent heat fluxes at the lowest model level.
+//
+// The paper's port covers the dynamical core "and a portion of physics
+// processes" (Sec. I); its Fig. 1 carries a generic "Physical processes"
+// box. This module provides that slot's most common occupant, with the
+// standard bulk formulas
+//
+//   tau   = -rho Cd |V| u            (momentum drag)
+//   H     =  rho Ch |V| (T_sfc - T_air) -> d(theta)/dt at level 0
+//   E     =  rho Ce |V| (qvs(T_sfc) - qv)  (ocean evaporation, optional)
+//
+// applied explicitly over the long step. Over the synthetic ocean of the
+// real-case scenario the evaporation term feeds the warm-rain cycle.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/constants.hpp"
+#include "src/core/eos.hpp"
+#include "src/core/state.hpp"
+#include "src/grid/grid.hpp"
+#include "src/instrument/kernel_registry.hpp"
+
+namespace asuca {
+
+struct SurfaceFluxConfig {
+    double drag_coefficient = 1.5e-3;  ///< Cd
+    double heat_coefficient = 1.2e-3;  ///< Ch
+    double moisture_coefficient = 1.2e-3;  ///< Ce (0 disables evaporation)
+    double surface_temperature = 0.0;  ///< SST/skin T [K]; <=0 disables H,E
+    /// Evaporate only where the terrain is below this height [m] (ocean).
+    double ocean_below = 1.0;
+};
+
+template <class T>
+class SurfaceFluxes {
+  public:
+    SurfaceFluxes(const Grid<T>& grid, SurfaceFluxConfig config)
+        : grid_(grid), cfg_(config) {}
+
+    /// Apply drag and surface fluxes to the lowest level over dt.
+    void apply(State<T>& s, double dt) {
+        using namespace constants;
+        const Index nx = grid_.nx(), ny = grid_.ny();
+        KernelScope scope("surface_fluxes", {/*reads=*/6, /*writes=*/4, 4},
+                          static_cast<std::uint64_t>(nx * ny));
+        const bool thermal = cfg_.surface_temperature > 0.0;
+        const bool moist = thermal && cfg_.moisture_coefficient > 0.0 &&
+                           s.species.contains(Species::Vapor);
+
+        for (Index j = 0; j < ny; ++j) {
+            for (Index i = 0; i < nx; ++i) {
+                const double rho = static_cast<double>(s.rho(i, j, 0));
+                const double u =
+                    0.5 *
+                    (static_cast<double>(s.rhou(i, j, 0)) +
+                     static_cast<double>(s.rhou(i + 1, j, 0))) /
+                    rho;
+                const double v =
+                    0.5 *
+                    (static_cast<double>(s.rhov(i, j, 0)) +
+                     static_cast<double>(s.rhov(i, j + 1, 0))) /
+                    rho;
+                const double speed = std::hypot(u, v);
+                const double dz =
+                    static_cast<double>(grid_.dz_center()(i, j, 0));
+
+                // Momentum drag, applied implicitly in the decay factor so
+                // strong drag cannot overshoot through zero.
+                const double decay =
+                    1.0 / (1.0 + cfg_.drag_coefficient * speed * dt / dz);
+                s.rhou(i, j, 0) = static_cast<T>(
+                    static_cast<double>(s.rhou(i, j, 0)) * decay);
+                s.rhou(i + 1, j, 0) = static_cast<T>(
+                    static_cast<double>(s.rhou(i + 1, j, 0)) * decay);
+                s.rhov(i, j, 0) = static_cast<T>(
+                    static_cast<double>(s.rhov(i, j, 0)) * decay);
+                s.rhov(i, j + 1, 0) = static_cast<T>(
+                    static_cast<double>(s.rhov(i, j + 1, 0)) * decay);
+
+                if (!thermal) continue;
+                const double p = static_cast<double>(s.p(i, j, 0));
+                const double pi = std::pow(p / p00, kappa);
+                const double theta_m =
+                    static_cast<double>(s.rhotheta(i, j, 0)) / rho;
+                const double t_air = theta_m * pi;  // moist-theta approx.
+                // Sensible heat: nudge theta_m toward the surface value.
+                const double dth = cfg_.heat_coefficient * speed *
+                                   (cfg_.surface_temperature - t_air) / pi *
+                                   dt / dz;
+                s.rhotheta(i, j, 0) =
+                    static_cast<T>(rho * (theta_m + dth));
+
+                if (!moist) continue;
+                if (static_cast<double>(grid_.hsurf()(i, j)) >=
+                    cfg_.ocean_below) {
+                    continue;  // land point: no ocean evaporation
+                }
+                const double es =
+                    es0 * std::exp(tetens_a *
+                                   (cfg_.surface_temperature - T0) /
+                                   (cfg_.surface_temperature - tetens_b));
+                const double qvs_sfc =
+                    (Rd / Rv) * es / (p - (1.0 - Rd / Rv) * es);
+                auto& qv_f = s.tracer(Species::Vapor);
+                const double qv =
+                    static_cast<double>(qv_f(i, j, 0)) / rho;
+                const double dq = std::max(
+                    0.0, cfg_.moisture_coefficient * speed *
+                             (qvs_sfc - qv) * dt / dz);
+                qv_f(i, j, 0) = static_cast<T>(rho * (qv + dq));
+            }
+        }
+    }
+
+  private:
+    const Grid<T>& grid_;
+    SurfaceFluxConfig cfg_;
+};
+
+}  // namespace asuca

@@ -1,0 +1,110 @@
+// Unit tests for the halo-aware Array3 container and memory layouts.
+#include <gtest/gtest.h>
+
+#include "src/field/array3.hpp"
+
+namespace asuca {
+namespace {
+
+TEST(Layout, StridesZXY) {
+    // kij-ordering: z is unit stride, then x, then y.
+    const Strides s = make_strides(Layout::ZXY, {4, 5, 6});
+    EXPECT_EQ(s.sz, 1);
+    EXPECT_EQ(s.sx, 6);
+    EXPECT_EQ(s.sy, 24);
+    EXPECT_EQ(unit_stride_axis(Layout::ZXY), 'z');
+}
+
+TEST(Layout, StridesXZY) {
+    // GPU ordering: x is unit stride, then z, then y.
+    const Strides s = make_strides(Layout::XZY, {4, 5, 6});
+    EXPECT_EQ(s.sx, 1);
+    EXPECT_EQ(s.sz, 4);
+    EXPECT_EQ(s.sy, 24);
+    EXPECT_EQ(unit_stride_axis(Layout::XZY), 'x');
+}
+
+class Array3LayoutTest : public ::testing::TestWithParam<Layout> {};
+
+TEST_P(Array3LayoutTest, RoundTripsUniqueValues) {
+    Array3<double> a({5, 4, 3}, 2, GetParam());
+    // Write a distinct value at every (halo-inclusive) index, read back.
+    for (Index j = -2; j < 6; ++j)
+        for (Index k = -2; k < 5; ++k)
+            for (Index i = -2; i < 7; ++i)
+                a(i, j, k) = 100.0 * static_cast<double>(i) +
+                             10.0 * static_cast<double>(j) +
+                             static_cast<double>(k);
+    for (Index j = -2; j < 6; ++j)
+        for (Index k = -2; k < 5; ++k)
+            for (Index i = -2; i < 7; ++i)
+                EXPECT_EQ(a(i, j, k), 100.0 * static_cast<double>(i) +
+                                          10.0 * static_cast<double>(j) +
+                                          static_cast<double>(k));
+}
+
+TEST_P(Array3LayoutTest, OffsetsAreUniqueAndInRange) {
+    Array3<float> a({4, 3, 5}, 1, GetParam());
+    std::vector<int> hits(a.size(), 0);
+    for (Index j = -1; j < 4; ++j)
+        for (Index k = -1; k < 6; ++k)
+            for (Index i = -1; i < 5; ++i) {
+                const Index off = a.offset(i, j, k);
+                ASSERT_GE(off, 0);
+                ASSERT_LT(static_cast<std::size_t>(off), a.size());
+                ++hits[static_cast<std::size_t>(off)];
+            }
+    for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_P(Array3LayoutTest, UnitStrideMatchesLayout) {
+    Array3<double> a({4, 4, 4}, 1, GetParam());
+    if (GetParam() == Layout::ZXY) {
+        EXPECT_EQ(a.offset(0, 0, 1) - a.offset(0, 0, 0), 1);
+    } else {
+        EXPECT_EQ(a.offset(1, 0, 0) - a.offset(0, 0, 0), 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLayouts, Array3LayoutTest,
+                         ::testing::Values(Layout::ZXY, Layout::XZY),
+                         [](const auto& info) {
+                             return info.param == Layout::ZXY ? "kij" : "xzy";
+                         });
+
+TEST(Array3, RelaidPreservesValuesAcrossLayouts) {
+    Array3<double> a({6, 5, 7}, 2, Layout::ZXY);
+    for (Index j = -2; j < 7; ++j)
+        for (Index k = -2; k < 9; ++k)
+            for (Index i = -2; i < 8; ++i)
+                a(i, j, k) = static_cast<double>(a.offset(i, j, k)) * 0.25;
+    Array3<double> b = a.relaid(Layout::XZY);
+    EXPECT_EQ(b.layout(), Layout::XZY);
+    for (Index j = -2; j < 7; ++j)
+        for (Index k = -2; k < 9; ++k)
+            for (Index i = -2; i < 8; ++i)
+                EXPECT_EQ(b(i, j, k), a(i, j, k));
+}
+
+TEST(Array3, MaxAbsDiffDetectsSingleElementChange) {
+    Array3<double> a({3, 3, 3}, 0, Layout::XZY, 1.0);
+    Array3<double> b({3, 3, 3}, 0, Layout::ZXY, 1.0);
+    EXPECT_EQ(max_abs_diff(a, b), 0.0);
+    b(2, 1, 0) = 1.5;
+    EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+TEST(Array3, FillSetsHaloToo) {
+    Array3<float> a({3, 3, 3}, 2, Layout::XZY);
+    a.fill(7.0f);
+    EXPECT_EQ(a(-2, -2, -2), 7.0f);
+    EXPECT_EQ(a(4, 4, 4), 7.0f);
+}
+
+TEST(Array3, RejectsBadShapes) {
+    EXPECT_THROW(Array3<double>({0, 3, 3}, 1, Layout::XZY), Error);
+    EXPECT_THROW(Array3<double>({3, 3, 3}, -1, Layout::XZY), Error);
+}
+
+}  // namespace
+}  // namespace asuca

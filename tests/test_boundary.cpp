@@ -1,0 +1,95 @@
+// Tests for the lateral boundary-condition halo fills.
+#include <gtest/gtest.h>
+
+#include "src/core/boundary.hpp"
+
+namespace asuca {
+namespace {
+
+Array3<double> numbered(Int3 ext, Index halo, Layout layout) {
+    Array3<double> a(ext, halo, layout, -999.0);
+    for (Index j = 0; j < ext.y; ++j)
+        for (Index k = 0; k < ext.z; ++k)
+            for (Index i = 0; i < ext.x; ++i)
+                a(i, j, k) = 100.0 * static_cast<double>(i) +
+                             10.0 * static_cast<double>(j) +
+                             static_cast<double>(k);
+    return a;
+}
+
+class BoundaryLayouts : public ::testing::TestWithParam<Layout> {};
+
+TEST_P(BoundaryLayouts, PeriodicWrapsCenteredArray) {
+    auto a = numbered({6, 5, 4}, 2, GetParam());
+    apply_lateral_bc(a, LateralBc::Periodic, 6, 5);
+    for (Index k = 0; k < 4; ++k) {
+        for (Index j = 0; j < 5; ++j) {
+            EXPECT_EQ(a(-1, j, k), a(5, j, k));
+            EXPECT_EQ(a(-2, j, k), a(4, j, k));
+            EXPECT_EQ(a(6, j, k), a(0, j, k));
+            EXPECT_EQ(a(7, j, k), a(1, j, k));
+        }
+        for (Index i = 0; i < 6; ++i) {
+            EXPECT_EQ(a(i, -1, k), a(i, 4, k));
+            EXPECT_EQ(a(i, 5, k), a(i, 0, k));
+        }
+    }
+}
+
+TEST_P(BoundaryLayouts, PeriodicFillsCornersConsistently) {
+    auto a = numbered({6, 5, 3}, 2, GetParam());
+    apply_lateral_bc(a, LateralBc::Periodic, 6, 5);
+    // Corner halo (-1,-1) must equal the opposite interior corner (5,4).
+    EXPECT_EQ(a(-1, -1, 1), a(5, 4, 1));
+    EXPECT_EQ(a(7, 6, 2), a(1, 1, 2));
+    EXPECT_EQ(a(-2, 5, 0), a(4, 0, 0));
+}
+
+TEST_P(BoundaryLayouts, PeriodicStaggeredDuplicatesFacePlane) {
+    // x-face array of extent nx+1 with period nx: face nx aliases face 0.
+    auto a = numbered({7, 5, 3}, 2, GetParam());  // nx=6 -> extent 7
+    apply_lateral_bc(a, LateralBc::Periodic, 6, 5);
+    for (Index j = 0; j < 5; ++j)
+        for (Index k = 0; k < 3; ++k) {
+            EXPECT_EQ(a(6, j, k), a(0, j, k));
+            EXPECT_EQ(a(-1, j, k), a(5, j, k));
+        }
+}
+
+TEST_P(BoundaryLayouts, ZeroGradientCopiesEdge) {
+    auto a = numbered({6, 5, 3}, 2, GetParam());
+    apply_lateral_bc(a, LateralBc::ZeroGradient, 6, 5);
+    for (Index k = 0; k < 3; ++k) {
+        for (Index j = 0; j < 5; ++j) {
+            EXPECT_EQ(a(-1, j, k), a(0, j, k));
+            EXPECT_EQ(a(-2, j, k), a(0, j, k));
+            EXPECT_EQ(a(7, j, k), a(5, j, k));
+        }
+        EXPECT_EQ(a(2, -2, k), a(2, 0, k));
+        EXPECT_EQ(a(2, 6, k), a(2, 4, k));
+        // Corners: x fill then y fill leaves the edge value.
+        EXPECT_EQ(a(-2, -2, k), a(0, 0, k));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLayouts, BoundaryLayouts,
+                         ::testing::Values(Layout::ZXY, Layout::XZY),
+                         [](const auto& info) {
+                             return info.param == Layout::ZXY ? "kij" : "xzy";
+                         });
+
+TEST(Boundary, PeriodicIsIdempotent) {
+    auto a = numbered({8, 6, 3}, 3, Layout::XZY);
+    apply_lateral_bc(a, LateralBc::Periodic, 8, 6);
+    auto b = a;
+    apply_lateral_bc(a, LateralBc::Periodic, 8, 6);
+    EXPECT_EQ(max_abs_diff(a, b), 0.0);
+    // Halos too.
+    for (Index j = -3; j < 9; ++j)
+        for (Index k = 0; k < 3; ++k)
+            for (Index i = -3; i < 11; ++i)
+                EXPECT_EQ(a(i, j, k), b(i, j, k));
+}
+
+}  // namespace
+}  // namespace asuca

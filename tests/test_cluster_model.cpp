@@ -1,0 +1,147 @@
+// Tests for the multi-GPU decomposition and the step/overlap model.
+#include <gtest/gtest.h>
+
+#include "src/cluster/decomp.hpp"
+#include "src/cluster/step_model.hpp"
+
+namespace asuca::cluster {
+namespace {
+
+TEST(Decomp, Table1MeshSizesReproduceExactly) {
+    // Every row of the paper's Table I.
+    struct Row {
+        Index px, py, gx, gy;
+    };
+    const Row rows[] = {
+        {2, 3, 636, 760},     {4, 5, 1268, 1264},   {6, 9, 1900, 2272},
+        {8, 10, 2532, 2524},  {10, 12, 3164, 3028}, {12, 14, 3796, 3532},
+        {12, 16, 3796, 4036}, {14, 18, 4428, 4540}, {16, 20, 5060, 5044},
+        {18, 20, 5692, 5044}, {18, 22, 5692, 5548}, {20, 22, 6324, 5548},
+        {20, 24, 6324, 6052}, {22, 24, 6956, 6052},
+    };
+    for (const auto& r : rows) {
+        Decomp2D d;
+        d.px = r.px;
+        d.py = r.py;
+        const auto g = d.global_mesh();
+        EXPECT_EQ(g.x, r.gx) << r.px << "x" << r.py;
+        EXPECT_EQ(g.y, r.gy) << r.px << "x" << r.py;
+        EXPECT_EQ(g.z, 48);
+    }
+    EXPECT_EQ(table1_configs().size(), 14u);
+    EXPECT_EQ(table1_configs().back().gpu_count(), 528);
+}
+
+TEST(Decomp, HaloBytesScaleWithFaces) {
+    Decomp2D d;
+    d.px = d.py = 4;
+    EXPECT_DOUBLE_EQ(d.x_halo_bytes(4), 2.0 * 256 * 48 * 4);
+    EXPECT_DOUBLE_EQ(d.y_halo_bytes(4), 2.0 * 320 * 48 * 4);
+}
+
+class StepModelTest : public ::testing::Test {
+  protected:
+    static CalibrationResult& calibration() {
+        static CalibrationResult cal = [] {
+            auto cfg = benchmark_model_config();
+            return calibrate_flops(cfg, {16, 12, 12});
+        }();
+        return cal;
+    }
+
+    static StepModelConfig base_config() {
+        StepModelConfig c;
+        c.decomp.px = 22;
+        c.decomp.py = 24;
+        c.exec.precision = Precision::Single;
+        return c;
+    }
+};
+
+TEST_F(StepModelTest, OverlapBeatsNonOverlap) {
+    auto cfg = base_config();
+    cfg.overlap = true;
+    const auto with = StepModel(calibration(), cfg).run();
+    cfg.overlap = false;
+    cfg.overlap_tracers = false;
+    cfg.fuse_density_theta = false;
+    const auto without = StepModel(calibration(), cfg).run();
+    EXPECT_LT(with.total_s, without.total_s);
+    // Paper Sec. V-B: ~11-14% improvement at 528 GPUs. Accept a band.
+    const double gain = (without.total_s - with.total_s) / without.total_s;
+    EXPECT_GT(gain, 0.03);
+    EXPECT_LT(gain, 0.40);
+}
+
+TEST_F(StepModelTest, DividedKernelsCostMoreComputeButWinOverall) {
+    auto cfg = base_config();
+    const auto with = StepModel(calibration(), cfg).run();
+    // Paper Fig. 9: the divided kernels' total compute exceeds the single
+    // kernel in all cases because of reduced per-kernel parallelism.
+    for (const auto& row : with.short_step_rows) {
+        const double divided =
+            row.inner_s + row.boundary_x_s + row.boundary_y_s;
+        EXPECT_GT(divided, row.whole_s) << row.name;
+        EXPECT_LT(divided, 2.0 * row.whole_s) << row.name;
+    }
+}
+
+TEST_F(StepModelTest, CommunicationPartiallyHidden) {
+    auto cfg = base_config();
+    const auto r = StepModel(calibration(), cfg).run();
+    const double comm = r.mpi_s + r.pcie_s;
+    const double exposed = r.total_s - r.compute_s;
+    // Paper Sec. V-B: roughly half the communication is hidden.
+    EXPECT_LT(exposed, comm);
+    EXPECT_GT(exposed, 0.0);
+    const double hidden_frac = 1.0 - exposed / comm;
+    EXPECT_GT(hidden_frac, 0.25);
+    EXPECT_LT(hidden_frac, 0.95);
+}
+
+TEST_F(StepModelTest, WeakScalingEfficiencyAbove90Percent) {
+    // Time per step of the largest config vs the 6-GPU config.
+    auto cfg6 = base_config();
+    cfg6.decomp.px = 2;
+    cfg6.decomp.py = 3;
+    const auto r6 = StepModel(calibration(), cfg6).run();
+    auto cfg528 = base_config();
+    const auto r528 = StepModel(calibration(), cfg528).run();
+    const double efficiency = r6.total_s / r528.total_s;
+    EXPECT_GT(efficiency, 0.85);
+    EXPECT_LE(efficiency, 1.0 + 1e-9);
+    // Per-GPU throughput must be nearly flat -> TFlops ~ linear in GPUs.
+    EXPECT_NEAR(r528.tflops_total / r6.tflops_total, 528.0 / 6.0 * efficiency,
+                1.0);
+}
+
+TEST_F(StepModelTest, SinglePrecisionFasterThanDouble) {
+    auto cfg = base_config();
+    const auto sp = StepModel(calibration(), cfg).run();
+    cfg.exec.precision = Precision::Double;
+    const auto dp = StepModel(calibration(), cfg).run();
+    EXPECT_LT(sp.total_s, dp.total_s);
+    EXPECT_GT(sp.gflops_per_gpu, 2.0 * dp.gflops_per_gpu);
+}
+
+TEST_F(StepModelTest, FusionHelpsWhenDensityKernelIsShort) {
+    auto cfg = base_config();
+    cfg.fuse_density_theta = true;
+    const auto fused = StepModel(calibration(), cfg).run();
+    cfg.fuse_density_theta = false;
+    const auto split = StepModel(calibration(), cfg).run();
+    // Method 3 must not hurt, and normally helps a little.
+    EXPECT_LE(fused.total_s, split.total_s * 1.005);
+}
+
+TEST_F(StepModelTest, MoreMpiBandwidthShortensStep) {
+    auto cfg = base_config();
+    const auto base = StepModel(calibration(), cfg).run();
+    cfg.cluster.mpi_eff_gbs *= 4.0;
+    cfg.cluster.pcie_eff_gbs *= 4.0;
+    const auto fat = StepModel(calibration(), cfg).run();
+    EXPECT_LT(fat.total_s, base.total_s);
+}
+
+}  // namespace
+}  // namespace asuca::cluster

@@ -1,0 +1,132 @@
+// Tests for the equation of state (paper Eq. 5) and the hydrostatic
+// atmosphere profiles.
+#include <gtest/gtest.h>
+
+#include "src/common/constants.hpp"
+#include "src/core/eos.hpp"
+#include "src/core/profile.hpp"
+
+namespace asuca {
+namespace {
+
+using namespace constants;
+
+TEST(Eos, ReferenceStatePressure) {
+    // At p = p00 and theta = 300: rho*theta = p00/(Rd * pi * theta) * ...
+    // simplest check: eos_rhotheta is the exact inverse of eos_pressure.
+    for (double p : {2.0e4, 5.0e4, 8.0e4, 1.0e5, 1.05e5}) {
+        const double rt = eos_rhotheta(p);
+        EXPECT_NEAR(eos_pressure(rt), p, 1e-8 * p);
+    }
+}
+
+TEST(Eos, PressureDerivativeMatchesFiniteDifference) {
+    const double rt = eos_rhotheta(8.5e4);
+    const double eps = 1e-6 * rt;
+    const double dfdx =
+        (eos_pressure(rt + eps) - eos_pressure(rt - eps)) / (2 * eps);
+    EXPECT_NEAR(eos_dp_drhotheta(eos_pressure(rt), rt), dfdx, 1e-4 * dfdx);
+}
+
+TEST(Eos, SoundSpeedIsAtmospheric) {
+    // ~340 m/s near the surface.
+    const double p = 1.0e5, T = 288.0;
+    const double rho = p / (Rd * T);
+    const double cs = std::sqrt(eos_sound_speed_sq(p, rho));
+    EXPECT_NEAR(cs, 340.0, 5.0);
+}
+
+TEST(Eos, ExnerAtReferencePressureIsOne) {
+    EXPECT_DOUBLE_EQ(exner(p00), 1.0);
+    EXPECT_LT(exner(5.0e4), 1.0);
+}
+
+TEST(Eos, ThetaMReducesToThetaWhenDry) {
+    EXPECT_DOUBLE_EQ(theta_m_of(300.0, 0.0, 0.0), 300.0);
+    // Vapor raises theta_m (eps = Rv/Rd > 1).
+    EXPECT_GT(theta_m_of(300.0, 0.01, 0.0), 300.0);
+    // Condensate loading lowers it.
+    EXPECT_LT(theta_m_of(300.0, 0.0, 0.01), 300.0);
+}
+
+class ProfileKinds
+    : public ::testing::TestWithParam<std::function<AtmosphereProfile()>> {};
+
+TEST_P(ProfileKinds, HydrostaticBalanceHolds) {
+    const auto prof = GetParam()();
+    // d pi/dz = -g / (cp * theta), checked by finite differences.
+    for (double z : {100.0, 1000.0, 3000.0, 7000.0, 11000.0}) {
+        const double dz = 1.0;
+        const double dpidz =
+            (prof.exner(z + dz) - prof.exner(z - dz)) / (2 * dz);
+        EXPECT_NEAR(dpidz, -g / (cpd * prof.theta(z)),
+                    1e-6 * std::abs(dpidz) + 1e-12)
+            << "z=" << z;
+    }
+}
+
+TEST_P(ProfileKinds, DensityAndPressureDecreaseWithHeight) {
+    const auto prof = GetParam()();
+    double prev_p = 1e9, prev_rho = 1e9;
+    for (double z = 0.0; z <= 12000.0; z += 500.0) {
+        EXPECT_LT(prof.pressure(z), prev_p);
+        EXPECT_LT(prof.rho(z), prev_rho);
+        EXPECT_GT(prof.rho(z), 0.0);
+        prev_p = prof.pressure(z);
+        prev_rho = prof.rho(z);
+    }
+}
+
+TEST_P(ProfileKinds, IdealGasLawHolds) {
+    const auto prof = GetParam()();
+    for (double z : {0.0, 2000.0, 9000.0}) {
+        EXPECT_NEAR(prof.pressure(z),
+                    prof.rho(z) * Rd * prof.temperature(z),
+                    1e-8 * prof.pressure(z));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileKinds,
+    ::testing::Values([] { return AtmosphereProfile::isentropic(300.0); },
+                      [] { return AtmosphereProfile::constant_n(290.0, 0.01); },
+                      [] { return AtmosphereProfile::isothermal(260.0); }));
+
+TEST(Profile, ConstantNHasRequestedStratification) {
+    const double n = 0.012;
+    const auto prof = AtmosphereProfile::constant_n(295.0, n);
+    // N^2 = g/theta * dtheta/dz
+    for (double z : {500.0, 4000.0, 9000.0}) {
+        const double dz = 1.0;
+        const double dthdz =
+            (prof.theta(z + dz) - prof.theta(z - dz)) / (2 * dz);
+        const double n2 = g / prof.theta(z) * dthdz;
+        EXPECT_NEAR(std::sqrt(n2), n, 1e-6);
+    }
+}
+
+TEST(Profile, IsothermalIsIsothermal) {
+    const auto prof = AtmosphereProfile::isothermal(250.0);
+    for (double z : {0.0, 3000.0, 8000.0, 12000.0}) {
+        EXPECT_NEAR(prof.temperature(z), 250.0, 1e-9);
+    }
+}
+
+TEST(Profile, RejectsUnphysicalInputs) {
+    EXPECT_THROW(AtmosphereProfile::isentropic(50.0), Error);
+    EXPECT_THROW(AtmosphereProfile::constant_n(300.0, -0.01), Error);
+}
+
+TEST(Profile, EosAndProfileAgree) {
+    // rho*theta from the profile must invert through the EOS to the
+    // profile's own pressure — the consistency the reference state and
+    // the prognostic initialization rely on.
+    const auto prof = AtmosphereProfile::constant_n(300.0, 0.01);
+    for (double z : {0.0, 1500.0, 6000.0, 11000.0}) {
+        EXPECT_NEAR(eos_pressure(prof.rho_theta(z)), prof.pressure(z),
+                    1e-7 * prof.pressure(z));
+    }
+}
+
+}  // namespace
+}  // namespace asuca

@@ -1,0 +1,240 @@
+// Tests for the production extensions: Davies lateral relaxation,
+// generalized (ice-phase) sedimentation, and checkpoint/restart.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/core/diagnostics.hpp"
+#include "src/core/lateral_relaxation.hpp"
+#include "src/core/scenarios.hpp"
+#include "src/io/checkpoint.hpp"
+#include "src/physics/sedimentation.hpp"
+
+namespace asuca {
+namespace {
+
+// ---------------------------------------------------------------- Davies
+
+struct RelaxSetup {
+    GridSpec spec;
+    Grid<double> grid;
+    State<double> state;
+    std::shared_ptr<State<double>> target;
+
+    RelaxSetup() : spec(make_spec()), grid(spec),
+                   state(grid, SpeciesSet::dry()),
+                   target(std::make_shared<State<double>>(
+                       grid, SpeciesSet::dry())) {
+        initialize_hydrostatic(grid, AtmosphereProfile::isentropic(300.0),
+                               0.0, 0.0, state);
+        *target = state;
+        // Target has a different wind everywhere.
+        target->rhou.fill(5.0);
+    }
+
+    static GridSpec make_spec() {
+        GridSpec s;
+        s.nx = 20;
+        s.ny = 20;
+        s.nz = 6;
+        return s;
+    }
+};
+
+TEST(LateralRelaxation, WeightsAreDaviesShaped) {
+    RelaxSetup su;
+    LateralRelaxation<double> relax(su.grid, {5, 600.0});
+    EXPECT_DOUBLE_EQ(relax.weight(0, 10), 1.0);       // on the boundary
+    EXPECT_DOUBLE_EQ(relax.weight(10, 0), 1.0);
+    EXPECT_DOUBLE_EQ(relax.weight(10, 10), 0.0);      // interior
+    EXPECT_NEAR(relax.weight(1, 10), 16.0 / 25.0, 1e-12);
+    EXPECT_NEAR(relax.weight(4, 10), 1.0 / 25.0, 1e-12);
+    // Monotone decay inward.
+    for (Index d = 0; d < 4; ++d) {
+        EXPECT_GT(relax.weight(d, 10), relax.weight(d + 1, 10));
+    }
+}
+
+TEST(LateralRelaxation, RimConvergesInteriorDoesNot) {
+    RelaxSetup su;
+    LateralRelaxation<double> relax(su.grid, {4, 100.0});
+    relax.add_frame(0.0, su.target);
+    const double u0_interior = su.state.rhou(10, 10, 3);
+    // Edge rate = dt/tau = 0.1 per call: 150 calls ~ 15 e-folding times.
+    for (int n = 0; n < 150; ++n) {
+        relax.apply(0.0, 10.0, su.state);
+    }
+    // Edge fully pulled to target, interior untouched.
+    EXPECT_NEAR(su.state.rhou(0, 10, 3), 5.0, 1e-3);
+    EXPECT_DOUBLE_EQ(su.state.rhou(10, 10, 3), u0_interior);
+    // Halos are specified directly from the target.
+    EXPECT_DOUBLE_EQ(su.state.rhou(-2, 10, 3), 5.0);
+}
+
+TEST(LateralRelaxation, InterpolatesFramesInTime) {
+    RelaxSetup su;
+    auto frame2 = std::make_shared<State<double>>(*su.target);
+    frame2->rhou.fill(15.0);
+    LateralRelaxation<double> relax(su.grid, {4, 1e-9});  // instant pull
+    relax.add_frame(0.0, su.target);
+    relax.add_frame(3600.0, frame2);
+    relax.apply(1800.0, 1.0, su.state);
+    // Halfway between the hourly frames: target = 10.
+    EXPECT_NEAR(su.state.rhou(0, 10, 3), 10.0, 1e-9);
+    // Before the first / after the last frame: clamped.
+    relax.apply(-100.0, 1.0, su.state);
+    EXPECT_NEAR(su.state.rhou(0, 10, 3), 5.0, 1e-9);
+    relax.apply(7200.0, 1.0, su.state);
+    EXPECT_NEAR(su.state.rhou(0, 10, 3), 15.0, 1e-9);
+}
+
+TEST(LateralRelaxation, RejectsBadSetups) {
+    RelaxSetup su;
+    EXPECT_THROW(LateralRelaxation<double>(su.grid, {15, 600.0}), Error);
+    LateralRelaxation<double> relax(su.grid, {4, 600.0});
+    EXPECT_THROW(relax.apply(0.0, 1.0, su.state), Error);  // no frames
+    relax.add_frame(100.0, su.target);
+    EXPECT_THROW(relax.add_frame(50.0, su.target), Error);  // out of order
+}
+
+// ------------------------------------------------------- sedimentation
+
+TEST(Sedimentation, FallLawsOrderPhysically) {
+    // At equal content, hail falls fastest, then graupel; cloud/vapor
+    // do not fall at all.
+    const double rq = 1e-3, rho = 1.0;
+    const double vr = fall_law_of(Species::Rain).velocity(rq, rho);
+    const double vs = fall_law_of(Species::Snow).velocity(rq, rho);
+    const double vg = fall_law_of(Species::Graupel).velocity(rq, rho);
+    const double vh = fall_law_of(Species::Hail).velocity(rq, rho);
+    EXPECT_GT(vh, vg);
+    EXPECT_GT(vg, vs);
+    EXPECT_GT(vr, 0.0);
+    EXPECT_DOUBLE_EQ(fall_law_of(Species::Cloud).velocity(rq, rho), 0.0);
+    // Thin air -> faster fall (the sqrt(rho0/rho) factor).
+    EXPECT_GT(fall_law_of(Species::Rain).velocity(rq, 0.5),
+              fall_law_of(Species::Rain).velocity(rq, 1.0));
+}
+
+TEST(Sedimentation, AllIceSpeciesFallAndConserve) {
+    GridSpec spec;
+    spec.nx = 3;
+    spec.ny = 3;
+    spec.nz = 16;
+    spec.ztop = 8000.0;
+    Grid<double> grid(spec);
+    State<double> s(grid, SpeciesSet::full());
+    initialize_hydrostatic(grid, AtmosphereProfile::constant_n(290.0, 0.01),
+                           0.0, 0.0, s);
+    for (Species sp : {Species::Rain, Species::Snow, Species::Graupel,
+                       Species::Hail}) {
+        for (Index k = 10; k < 13; ++k) {
+            s.tracer(sp)(1, 1, k) = 1e-3 * s.rho(1, 1, k);
+        }
+    }
+    auto column_water = [&](Species sp) {
+        double sum = 0.0;
+        for (Index k = 0; k < spec.nz; ++k) {
+            sum += static_cast<double>(s.tracer(sp)(1, 1, k)) *
+                   static_cast<double>(grid.dz_center()(1, 1, k));
+        }
+        return sum;
+    };
+    const double before = column_water(Species::Rain) +
+                          column_water(Species::Snow) +
+                          column_water(Species::Graupel) +
+                          column_water(Species::Hail);
+
+    Sedimentation<double> sed(grid);
+    for (int n = 0; n < 120; ++n) sed.apply(s, 20.0);
+
+    double after = 0.0, fallen = 0.0;
+    for (Species sp : {Species::Rain, Species::Snow, Species::Graupel,
+                       Species::Hail}) {
+        after += column_water(sp);
+        fallen += sed.accumulated(sp)(1, 1);
+        EXPECT_GT(sed.accumulated(sp)(1, 1), 0.0)
+            << name_of(sp) << " never reached the surface";
+    }
+    EXPECT_NEAR(after + fallen, before, 1e-6 * before);
+    // Hail (fastest) has delivered the largest fraction to the ground.
+    EXPECT_GT(sed.accumulated(Species::Hail)(1, 1),
+              sed.accumulated(Species::Snow)(1, 1));
+    EXPECT_NEAR(sed.total_at(1, 1), fallen, 1e-12);
+}
+
+// ---------------------------------------------------- checkpoint/restart
+
+TEST(Checkpoint, ExactRestartReproducesRun) {
+    namespace fs = std::filesystem;
+    const auto path = fs::temp_directory_path() / "asuca_ckpt.bin";
+
+    auto cfg = scenarios::mountain_wave_config<double>(20, 8, 12);
+    AsucaModel<double> a(cfg);
+    scenarios::init_mountain_wave(a);
+    a.run(3);
+    io::save_checkpoint(path.string(), a.state(), a.time());
+    a.run(3);  // reference continues to step 6
+
+    AsucaModel<double> b(cfg);  // fresh model, different initial state
+    b.initialize(AtmosphereProfile::isentropic(300.0));
+    const double t = io::load_checkpoint(path.string(), b.state());
+    EXPECT_DOUBLE_EQ(t, 15.0);  // 3 steps of dt = 5 s
+    b.run(3);
+
+    EXPECT_EQ(max_abs_diff(a.state().rho, b.state().rho), 0.0);
+    EXPECT_EQ(max_abs_diff(a.state().rhow, b.state().rhow), 0.0);
+    EXPECT_EQ(max_abs_diff(a.state().rhotheta, b.state().rhotheta), 0.0);
+    for (std::size_t n = 0; n < a.state().tracers.size(); ++n) {
+        EXPECT_EQ(max_abs_diff(a.state().tracers[n], b.state().tracers[n]),
+                  0.0);
+    }
+    fs::remove(path);
+}
+
+TEST(Checkpoint, RejectsMismatchedShapeAndPrecision) {
+    namespace fs = std::filesystem;
+    const auto path = fs::temp_directory_path() / "asuca_ckpt2.bin";
+
+    auto cfg = scenarios::mountain_wave_config<double>(20, 8, 12);
+    AsucaModel<double> a(cfg);
+    scenarios::init_mountain_wave(a);
+    io::save_checkpoint(path.string(), a.state(), 0.0);
+
+    // Wrong mesh.
+    auto cfg2 = scenarios::mountain_wave_config<double>(16, 8, 12);
+    AsucaModel<double> wrong(cfg2);
+    scenarios::init_mountain_wave(wrong);
+    EXPECT_THROW(io::load_checkpoint(path.string(), wrong.state()), Error);
+
+    // Wrong precision.
+    auto cfgf = scenarios::mountain_wave_config<float>(20, 8, 12);
+    AsucaModel<float> fmodel(cfgf);
+    scenarios::init_mountain_wave(fmodel);
+    EXPECT_THROW(io::load_checkpoint(path.string(), fmodel.state()), Error);
+
+    // Wrong species set.
+    auto cfgd = scenarios::mountain_wave_config<double>(20, 8, 12, false);
+    AsucaModel<double> dry(cfgd);
+    dry.initialize(AtmosphereProfile::isentropic(300.0));
+    EXPECT_THROW(io::load_checkpoint(path.string(), dry.state()), Error);
+
+    fs::remove(path);
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+    namespace fs = std::filesystem;
+    const auto path = fs::temp_directory_path() / "asuca_garbage.bin";
+    {
+        std::ofstream out(path);
+        out << "this is not a checkpoint";
+    }
+    auto cfg = scenarios::mountain_wave_config<double>(20, 8, 12);
+    AsucaModel<double> m(cfg);
+    scenarios::init_mountain_wave(m);
+    EXPECT_THROW(io::load_checkpoint(path.string(), m.state()), Error);
+    fs::remove(path);
+}
+
+}  // namespace
+}  // namespace asuca

@@ -1,0 +1,171 @@
+// Tests for the GPU performance simulator: device catalog, launch
+// configurations (paper Fig. 2/3), roofline model (paper Eq. 6), and the
+// stream timeline.
+#include <gtest/gtest.h>
+
+#include "src/gpusim/device.hpp"
+#include "src/gpusim/launch.hpp"
+#include "src/gpusim/roofline.hpp"
+#include "src/gpusim/timeline.hpp"
+
+namespace asuca::gpusim {
+namespace {
+
+TEST(Device, CatalogMatchesPaperConstants) {
+    const auto dev = DeviceSpec::tesla_s1070();
+    // Paper Sec. III: 240 SPs at 1.44 GHz, 691.2 / 86.4 GFlops, 102 GB/s.
+    EXPECT_EQ(dev.sm_count * dev.sp_per_sm, 240);
+    EXPECT_DOUBLE_EQ(dev.fp32_gflops, 691.2);
+    EXPECT_DOUBLE_EQ(dev.fp64_gflops, 86.4);
+    EXPECT_NEAR(dev.mem_bandwidth_gbs, 102.4, 0.5);
+    EXPECT_DOUBLE_EQ(dev.shared_mem_kb_per_sm, 16.0);
+}
+
+TEST(Launch, AdvectionConfigMatchesPaper) {
+    // Paper Sec. IV-A-2: (nx/64, nz/4, 1) blocks of (64, 4, 1) threads,
+    // shared tile of (64+3) x (4+3) elements.
+    const auto lc = advection_launch({320, 256, 48}, sizeof(float));
+    EXPECT_EQ(lc.block, (Int3{64, 4, 1}));
+    EXPECT_EQ(lc.grid, (Int3{5, 12, 1}));
+    EXPECT_EQ(lc.march, MarchAxis::Y);
+    EXPECT_EQ(lc.shared_bytes, std::size_t{(64 + 3) * (4 + 3) * 4});
+}
+
+TEST(Launch, HelmholtzConfigMatchesPaper) {
+    // Paper Sec. IV-A-3: (nx/64, ny/4, 1) blocks, marching along z.
+    const auto lc = helmholtz_launch({320, 256, 48});
+    EXPECT_EQ(lc.grid, (Int3{5, 64, 1}));
+    EXPECT_EQ(lc.march, MarchAxis::Z);
+}
+
+TEST(Launch, SharedMemoryLimitsResidency) {
+    const auto dev = DeviceSpec::tesla_s1070();
+    // A 4-array double-precision tile: 4 * 67*7 * 8 B = 15 KB -> 1 block.
+    const auto lc =
+        advection_launch({320, 256, 48}, sizeof(double), 3, 4);
+    EXPECT_EQ(resident_blocks_per_sm(dev, lc), 1);
+    // A single float tile (1.8 KB) allows the cap of 8.
+    const auto lc2 = advection_launch({320, 256, 48}, sizeof(float));
+    EXPECT_EQ(resident_blocks_per_sm(dev, lc2), 8);
+}
+
+TEST(Launch, OccupancyGrowsWithGrid) {
+    const auto dev = DeviceSpec::tesla_s1070();
+    const auto small = advection_launch({64, 32, 8}, 4);
+    const auto large = advection_launch({320, 256, 48}, 4);
+    EXPECT_LT(occupancy(dev, small), occupancy(dev, large));
+    EXPECT_LE(occupancy(dev, large), 1.0);
+}
+
+class RooflineTest : public ::testing::Test {
+  protected:
+    ExecutionOptions opts_{Precision::Single, Layout::XZY, true, true};
+    RooflineModel model_{DeviceSpec::tesla_s1070(), opts_};
+};
+
+TEST_F(RooflineTest, MemoryBoundKernelLimitedByBandwidth) {
+    // Paper kernel (1): 2 reads, 1 write, 1 FLOP per element.
+    KernelTraits t{2, 1, 0, 0};
+    const auto e = model_.estimate("coord", t, 1e7, 1.0);
+    EXPECT_TRUE(e.memory_bound);
+    // GFlops must sit well below peak and near AI * effective bandwidth.
+    EXPECT_LT(e.gflops, 10.0);
+    EXPECT_GT(e.gflops, 1.0);
+}
+
+TEST_F(RooflineTest, ComputeBoundKernelApproachesPeak) {
+    // Warm-rain-like: heavy math, few arrays.
+    KernelTraits t{3, 2, 0, 0};
+    const auto e = model_.estimate("mp", t, 1e7, 2000.0);
+    EXPECT_FALSE(e.memory_bound);
+    EXPECT_GT(e.gflops, 0.5 * 691.2);
+    EXPECT_LE(e.gflops, 691.2);
+}
+
+TEST_F(RooflineTest, AttainableCurveHasRidgePoint) {
+    const double bw = model_.effective_bandwidth();
+    EXPECT_NEAR(model_.attainable_gflops(0.1), 0.1 * bw, 1e-9);
+    EXPECT_DOUBLE_EQ(model_.attainable_gflops(1e3), 691.2);
+}
+
+TEST_F(RooflineTest, UncoalescedLayoutIsSlower) {
+    ExecutionOptions bad = opts_;
+    bad.layout = Layout::ZXY;
+    RooflineModel kij(DeviceSpec::tesla_s1070(), bad);
+    KernelTraits t{4, 1, 4, 0};
+    const double fast = model_.estimate("adv", t, 4e6, 30).seconds;
+    const double slow = kij.estimate("adv", t, 4e6, 30).seconds;
+    EXPECT_GT(slow, 4.0 * fast);
+}
+
+TEST_F(RooflineTest, SharedMemoryTilingReducesTraffic) {
+    ExecutionOptions no_smem = opts_;
+    no_smem.shared_memory_tiling = false;
+    RooflineModel plain(DeviceSpec::tesla_s1070(), no_smem);
+    KernelTraits t{4, 1, 9, 0};  // stencil kernel with 9 neighbor re-reads
+    EXPECT_GT(plain.bytes_per_element(t), model_.bytes_per_element(t));
+    EXPECT_GT(plain.estimate("adv", t, 4e6, 30).seconds,
+              model_.estimate("adv", t, 4e6, 30).seconds);
+}
+
+TEST_F(RooflineTest, DoublePrecisionSlowerThanSingle) {
+    ExecutionOptions dp = opts_;
+    dp.precision = Precision::Double;
+    RooflineModel dmodel(DeviceSpec::tesla_s1070(), dp);
+    KernelTraits t{4, 1, 4, 0};
+    const auto es = model_.estimate("k", t, 4e6, 30);
+    const auto ed = dmodel.estimate("k", t, 4e6, 30);
+    // Paper Sec. IV-B: DP lands between 12.5% (FPU-limited) and 50%
+    // (bandwidth-limited) of SP.
+    const double ratio = ed.gflops / es.gflops;
+    EXPECT_GT(ratio, 0.125);
+    EXPECT_LT(ratio, 0.75);
+}
+
+TEST(Timeline, SerialTasksAccumulate) {
+    Timeline tl;
+    auto r = tl.add_resource("gpu");
+    auto a = tl.add_task("a", r, 1.0);
+    auto b = tl.add_task("b", r, 2.0, {a});
+    EXPECT_DOUBLE_EQ(tl.run(), 3.0);
+    EXPECT_DOUBLE_EQ(tl.task(b).start, 1.0);
+}
+
+TEST(Timeline, IndependentResourcesOverlap) {
+    Timeline tl;
+    auto gpu = tl.add_resource("gpu");
+    auto net = tl.add_resource("net");
+    auto a = tl.add_task("kernel", gpu, 2.0);
+    tl.add_task("comm", net, 1.5, {});  // concurrent with the kernel
+    tl.add_task("kernel2", gpu, 1.0, {a});
+    EXPECT_DOUBLE_EQ(tl.run(), 3.0);  // comm fully hidden
+}
+
+TEST(Timeline, DependencyAcrossResourcesSerializes) {
+    Timeline tl;
+    auto gpu = tl.add_resource("gpu");
+    auto net = tl.add_resource("net");
+    auto a = tl.add_task("boundary", gpu, 1.0);
+    auto c = tl.add_task("comm", net, 2.0, {a});
+    tl.add_task("unpack", gpu, 0.5, {c});
+    EXPECT_DOUBLE_EQ(tl.run(), 3.5);
+}
+
+TEST(Timeline, FifoPerResourceMatchesIssueOrder) {
+    Timeline tl;
+    auto gpu = tl.add_resource("gpu");
+    auto a = tl.add_task("a", gpu, 5.0);
+    auto b = tl.add_task("b", gpu, 1.0);  // no dep, but queued after a
+    tl.run();
+    EXPECT_DOUBLE_EQ(tl.task(b).start, 5.0);
+    EXPECT_DOUBLE_EQ(tl.task(a).start, 0.0);
+}
+
+TEST(Timeline, RejectsForwardDependencies) {
+    Timeline tl;
+    auto gpu = tl.add_resource("gpu");
+    EXPECT_THROW(tl.add_task("x", gpu, 1.0, {5}), Error);
+}
+
+}  // namespace
+}  // namespace asuca::gpusim

@@ -1,0 +1,149 @@
+// Tests for the terrain-following grid and its metric terms.
+#include <gtest/gtest.h>
+
+#include "src/grid/grid.hpp"
+
+namespace asuca {
+namespace {
+
+GridSpec base_spec() {
+    GridSpec s;
+    s.nx = 20;
+    s.ny = 10;
+    s.nz = 12;
+    s.dx = 500.0;
+    s.dy = 500.0;
+    s.ztop = 12000.0;
+    return s;
+}
+
+TEST(VerticalLevels, UniformLevels) {
+    VerticalLevels lv(10, 10000.0);
+    EXPECT_DOUBLE_EQ(lv.face(0), 0.0);
+    EXPECT_DOUBLE_EQ(lv.face(10), 10000.0);
+    EXPECT_DOUBLE_EQ(lv.thickness(3), 1000.0);
+    EXPECT_DOUBLE_EQ(lv.center(0), 500.0);
+}
+
+TEST(VerticalLevels, StretchingConcentratesNearSurface) {
+    VerticalLevels lv(20, 10000.0, 2.0);
+    EXPECT_LT(lv.thickness(0), lv.thickness(19));
+    EXPECT_DOUBLE_EQ(lv.face(0), 0.0);
+    EXPECT_NEAR(lv.face(20), 10000.0, 1e-9);
+    // Faces strictly increasing.
+    for (Index k = 0; k < 20; ++k) EXPECT_GT(lv.face(k + 1), lv.face(k));
+}
+
+TEST(Grid, FlatTerrainGivesIdentityMetrics) {
+    Grid<double> g(base_spec());
+    for (Index j = 0; j < g.ny(); ++j) {
+        for (Index k = 0; k < g.nz(); ++k) {
+            for (Index i = 0; i < g.nx(); ++i) {
+                EXPECT_DOUBLE_EQ(g.jacobian()(i, j, k), 1.0);
+                EXPECT_DOUBLE_EQ(g.z_center()(i, j, k), g.zeta_center(k));
+                EXPECT_DOUBLE_EQ(g.slope_x_zface()(i, j, k), 0.0);
+                EXPECT_DOUBLE_EQ(g.slope_y_zface()(i, j, k), 0.0);
+            }
+        }
+    }
+}
+
+TEST(Grid, TerrainLiftsSurfaceAndCompressesColumns) {
+    auto spec = base_spec();
+    spec.terrain = bell_ridge(800.0, 2000.0, 5000.0);
+    Grid<double> g(spec);
+    // Over the peak: z at the lowest center sits above the flat value and
+    // J < 1 (column compressed between terrain and rigid top).
+    const Index ip = 9;  // x_center(9) = 4750, near the 5000 m peak
+    EXPECT_GT(g.z_center()(ip, 5, 0), g.zeta_center(0));
+    EXPECT_LT(g.jacobian()(ip, 5, 0), 1.0);
+    // At the model top the terrain influence has decayed to zero.
+    EXPECT_NEAR(g.z_center()(ip, 5, g.nz() - 1),
+                g.height_of(g.hsurf()(ip, 5), g.zeta_center(g.nz() - 1)),
+                1e-9);
+}
+
+TEST(Grid, SlopesMatchTerrainDerivative) {
+    auto spec = base_spec();
+    spec.terrain = bell_ridge(500.0, 3000.0, 5000.0);
+    Grid<double> g(spec);
+    for (Index i = 2; i < g.nx() - 2; ++i) {
+        const double dhdx = (g.hsurf()(i + 1, 5) - g.hsurf()(i - 1, 5)) /
+                            (2.0 * g.dx());
+        // Near the surface the decay factor is ~1.
+        EXPECT_NEAR(g.slope_x_zface()(i, 5, 0), dhdx, 1e-9);
+        // Slope decays with height.
+        EXPECT_LT(std::abs(g.slope_x_zface()(i, 5, g.nz())),
+                  std::abs(g.slope_x_zface()(i, 5, 0)) + 1e-12);
+    }
+}
+
+TEST(Grid, JacobianConsistentWithThicknessIntegral) {
+    // Integrating J dzeta over the column gives ztop - h exactly for the
+    // linear (n=1) transform.
+    auto spec = base_spec();
+    spec.terrain = bell_ridge(600.0, 2500.0, 5000.0);
+    Grid<double> g(spec);
+    for (Index i = 0; i < g.nx(); i += 3) {
+        double sum = 0.0;
+        for (Index k = 0; k < g.nz(); ++k) {
+            sum += g.jacobian()(i, 4, k) * g.dzeta(k);
+        }
+        EXPECT_NEAR(sum, spec.ztop - g.hsurf()(i, 4), 1e-7);
+    }
+}
+
+TEST(Grid, DecayPowerChangesVerticalJacobianVariation) {
+    auto spec = base_spec();
+    spec.terrain = bell_ridge(600.0, 2500.0, 5000.0);
+    spec.terrain_decay_power = 2.0;
+    Grid<double> g(spec);
+    // With n=2 the Jacobian varies with k (hybrid coordinate) and exceeds
+    // 1 near the top of the terrain influence region.
+    const Index ip = 9;
+    EXPECT_LT(g.jacobian()(ip, 5, 0), 1.0);
+    EXPECT_NE(g.jacobian()(ip, 5, 0), g.jacobian()(ip, 5, g.nz() - 1));
+}
+
+TEST(Grid, HaloMetricsAreFinite) {
+    auto spec = base_spec();
+    spec.terrain = bell_mountain(700.0, 2000.0, 5000.0, 2500.0);
+    spec.vertical_stretch = 1.5;
+    Grid<double> g(spec);
+    const Index h = g.halo();
+    for (Index j = -h; j < g.ny() + h; ++j)
+        for (Index k = -h; k < g.nz() + h; ++k)
+            for (Index i = -h; i < g.nx() + h; ++i) {
+                EXPECT_TRUE(std::isfinite(g.jacobian()(i, j, k)));
+                EXPECT_GT(g.jacobian()(i, j, k), 0.0);
+            }
+}
+
+TEST(Grid, RejectsBadSpecs) {
+    auto make = [](const GridSpec& s) { Grid<double> g(s); };
+    auto spec = base_spec();
+    spec.halo = 2;
+    EXPECT_THROW(make(spec), Error);
+    spec = base_spec();
+    spec.terrain = [](double, double) { return 20000.0; };  // above ztop
+    EXPECT_THROW(make(spec), Error);
+    spec = base_spec();
+    spec.dx = 0.0;
+    EXPECT_THROW(make(spec), Error);
+}
+
+TEST(Terrain, GeneratorsHaveDocumentedShapes) {
+    const auto ridge = bell_ridge(400.0, 2000.0, 0.0);
+    EXPECT_DOUBLE_EQ(ridge(0.0, 123.0), 400.0);       // peak, y-invariant
+    EXPECT_DOUBLE_EQ(ridge(2000.0, 0.0), 200.0);      // half width
+    const auto mtn = bell_mountain(400.0, 2000.0, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(mtn(0.0, 0.0), 400.0);
+    EXPECT_LT(mtn(2000.0, 0.0), 200.0);  // 3-D decays faster than ridge
+    const auto hill = cosine_hill(300.0, 1000.0, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(hill(0.0, 0.0), 300.0);
+    EXPECT_DOUBLE_EQ(hill(1000.0, 0.0), 0.0);  // compact support
+    EXPECT_DOUBLE_EQ(hill(5000.0, 5000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace asuca

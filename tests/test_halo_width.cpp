@@ -1,0 +1,31 @@
+// Robustness: the dycore must produce identical interiors for any halo
+// width >= the stencil requirement (a wider halo only adds unused cells).
+#include <gtest/gtest.h>
+
+#include "src/core/diagnostics.hpp"
+#include "src/core/scenarios.hpp"
+
+namespace asuca {
+namespace {
+
+TEST(HaloWidth, WiderHaloGivesBitwiseSameInterior) {
+    auto cfg3 = scenarios::mountain_wave_config<double>(20, 10, 12);
+    auto cfg5 = cfg3;
+    cfg5.grid.halo = 5;
+
+    AsucaModel<double> a(cfg3), b(cfg5);
+    scenarios::init_mountain_wave(a);
+    scenarios::init_mountain_wave(b);
+    a.run(4);
+    b.run(4);
+
+    EXPECT_EQ(max_abs_diff(a.state().rhow, b.state().rhow), 0.0);
+    EXPECT_EQ(max_abs_diff(a.state().rho, b.state().rho), 0.0);
+    EXPECT_EQ(max_abs_diff(a.state().rhotheta, b.state().rhotheta), 0.0);
+    EXPECT_EQ(max_abs_diff(a.state().tracer(Species::Rain),
+                           b.state().tracer(Species::Rain)),
+              0.0);
+}
+
+}  // namespace
+}  // namespace asuca

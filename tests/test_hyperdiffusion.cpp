@@ -1,0 +1,116 @@
+// Tests of the 4th-order horizontal hyperdiffusion (scale-selective
+// filter): it must damp 2-grid noise hard, leave long waves nearly alone,
+// and vanish on smooth (constant) states.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/boundary.hpp"
+#include "src/core/diagnostics.hpp"
+#include "src/core/diffusion.hpp"
+#include "src/core/initial.hpp"
+#include "src/core/scenarios.hpp"
+
+namespace asuca {
+namespace {
+
+struct HyperSetup {
+    GridSpec spec;
+    Grid<double> grid;
+    State<double> state;
+    Tendencies<double> tend;
+
+    HyperSetup() : spec(make_spec()), grid(spec),
+                   state(grid, SpeciesSet::dry()),
+                   tend(grid, SpeciesSet::dry()) {
+        initialize_hydrostatic(grid, AtmosphereProfile::isentropic(300.0),
+                               0.0, 0.0, state);
+        tend.clear();
+    }
+
+    static GridSpec make_spec() {
+        GridSpec s;
+        s.nx = 16;
+        s.ny = 12;
+        s.nz = 6;
+        s.dx = 1000.0;
+        s.dy = 1000.0;
+        s.ztop = 6000.0;
+        return s;
+    }
+
+    /// Superpose a u wave of wavenumber `waves` across the domain.
+    void set_u_wave(Index waves, double amp) {
+        const Index h = grid.halo();
+        for (Index j = -h; j < spec.ny + h; ++j)
+            for (Index k = 0; k < spec.nz; ++k)
+                for (Index i = -h; i < spec.nx + 1 + h; ++i)
+                    state.rhou(i, j, k) =
+                        amp *
+                        std::cos(2.0 * M_PI * waves *
+                                 static_cast<double>(i) / spec.nx);
+        apply_lateral_bc(state.rhou, LateralBc::Periodic, spec.nx, spec.ny);
+    }
+};
+
+TEST(Hyperdiffusion, VanishesOnUniformState) {
+    HyperSetup su;
+    su.set_u_wave(0, 3.0);  // constant u
+    DiffusionConfig cfg;
+    cfg.k4h = 1e9;
+    hyperdiffusion(su.grid, su.state, cfg, su.tend);
+    EXPECT_LT(max_abs(su.tend.rhou), 1e-10);
+    EXPECT_LT(max_abs(su.tend.rhotheta), 1e-10);
+}
+
+TEST(Hyperdiffusion, ScaleSelectivity) {
+    // Damping rate of del^4 scales as k^4: the 2-grid wave (8 waves over
+    // 16 cells) must be damped ~(8/1)^4 = 4096x harder than wavenumber 1.
+    DiffusionConfig cfg;
+    cfg.k4h = 1e8;
+
+    HyperSetup long_wave;
+    long_wave.set_u_wave(1, 1.0);
+    hyperdiffusion(long_wave.grid, long_wave.state, cfg, long_wave.tend);
+    const double damp_long = max_abs(long_wave.tend.rhou);
+
+    HyperSetup grid_wave;
+    grid_wave.set_u_wave(8, 1.0);
+    hyperdiffusion(grid_wave.grid, grid_wave.state, cfg, grid_wave.tend);
+    const double damp_grid = max_abs(grid_wave.tend.rhou);
+
+    EXPECT_GT(damp_grid, 500.0 * damp_long);
+    EXPECT_GT(damp_long, 0.0);
+}
+
+TEST(Hyperdiffusion, DampsNotAmplifies) {
+    // One forward-Euler application must reduce the wave amplitude.
+    HyperSetup su;
+    su.set_u_wave(8, 1.0);
+    DiffusionConfig cfg;
+    cfg.k4h = 1e8;
+    hyperdiffusion(su.grid, su.state, cfg, su.tend);
+    const double dt = 1.0;
+    double before = 0.0, after = 0.0;
+    for (Index i = 0; i < su.spec.nx; ++i) {
+        before += std::pow(su.state.rhou(i, 5, 2), 2);
+        after += std::pow(su.state.rhou(i, 5, 2) + dt * su.tend.rhou(i, 5, 2),
+                          2);
+    }
+    EXPECT_LT(after, before);
+    EXPECT_GT(after, 0.0);  // not over-damped into oscillation
+}
+
+TEST(Hyperdiffusion, IntegratesStablyInTheModel) {
+    auto cfg = scenarios::mountain_wave_config<double>(20, 8, 12);
+    cfg.stepper.diffusion.k4h = 0.01 * std::pow(cfg.grid.dx, 4) /
+                                (16.0 * cfg.stepper.dt);  // standard sizing
+    AsucaModel<double> m(cfg);
+    scenarios::init_mountain_wave(m);
+    m.run(10);
+    EXPECT_TRUE(m.is_finite());
+    EXPECT_LT(m.max_w(), 10.0);
+}
+
+}  // namespace
+}  // namespace asuca

@@ -1,0 +1,192 @@
+// Tests for the Kessler warm-rain microphysics (paper kernel (5) and the
+// precipitation component).
+#include <gtest/gtest.h>
+
+#include "src/core/diagnostics.hpp"
+#include "src/core/initial.hpp"
+#include "src/physics/kessler.hpp"
+
+namespace asuca {
+namespace {
+
+struct MoistColumn {
+    GridSpec spec;
+    Grid<double> grid;
+    State<double> state;
+
+    MoistColumn() : spec(make_spec()), grid(spec),
+                    state(grid, SpeciesSet::warm_rain()) {
+        initialize_hydrostatic(grid,
+                               AtmosphereProfile::constant_n(300.0, 0.008),
+                               0.0, 0.0, state);
+    }
+
+    static GridSpec make_spec() {
+        GridSpec s;
+        s.nx = 4;
+        s.ny = 4;
+        s.nz = 20;
+        s.dx = 1000.0;
+        s.dy = 1000.0;
+        s.ztop = 10000.0;
+        return s;
+    }
+
+    double q(Species sp, Index k) const {
+        return state.tracer(sp)(1, 1, k) / state.rho(1, 1, k);
+    }
+    double theta(Index k) const {
+        return state.rhotheta(1, 1, k) / state.rho(1, 1, k);
+    }
+    /// Column water path: sum rho*q*dz over all species [kg/m^2].
+    double water_path(Index i = 1, Index j = 1) const {
+        double sum = 0.0;
+        for (Index k = 0; k < spec.nz; ++k) {
+            const double dz = grid.dz_center()(i, j, k);
+            for (const auto& t : state.tracers) sum += t(i, j, k) * dz;
+        }
+        return sum;
+    }
+};
+
+TEST(Kessler, SupersaturationCondensesAndWarms) {
+    MoistColumn col;
+    set_relative_humidity(col.grid, [](double z) {
+        return z < 3000.0 ? 1.2 : 0.2;  // 120% RH: must condense
+    }, col.state);
+    const double qv0 = col.q(Species::Vapor, 1);
+    const double th0 = col.theta(1);
+
+    Kessler<double> mp(col.grid, KesslerConfig{});
+    mp.apply(col.state, 5.0);
+
+    EXPECT_LT(col.q(Species::Vapor, 1), qv0);       // vapor consumed
+    EXPECT_GT(col.q(Species::Cloud, 1), 0.0);       // cloud created
+    EXPECT_GT(col.theta(1), th0);                   // latent heating
+    // Result is very close to saturation (iterated adjustment).
+    // (checked indirectly: further application changes little)
+    const double qc_after = col.q(Species::Cloud, 1);
+    mp.apply(col.state, 5.0);
+    EXPECT_NEAR(col.q(Species::Cloud, 1), qc_after, 0.05 * qc_after + 1e-6);
+}
+
+TEST(Kessler, SubsaturatedCloudEvaporatesAndCools) {
+    MoistColumn col;
+    set_relative_humidity(col.grid, [](double) { return 0.3; }, col.state);
+    // Inject some cloud water by hand.
+    auto& qc = col.state.tracer(Species::Cloud);
+    for (Index k = 0; k < col.spec.nz; ++k)
+        qc(1, 1, k) = 2e-4 * col.state.rho(1, 1, k);
+    const double th0 = col.theta(5);
+    const double qv0 = col.q(Species::Vapor, 5);
+
+    KesslerConfig cfg;
+    cfg.sedimentation = false;
+    Kessler<double> mp(col.grid, cfg);
+    mp.apply(col.state, 5.0);
+
+    EXPECT_LT(col.q(Species::Cloud, 5), 2e-4);  // cloud evaporating
+    EXPECT_GT(col.q(Species::Vapor, 5), qv0);
+    EXPECT_LT(col.theta(5), th0);               // evaporative cooling
+}
+
+TEST(Kessler, SaturationAdjustmentConservesWater) {
+    MoistColumn col;
+    set_relative_humidity(col.grid, [](double z) {
+        return z < 4000.0 ? 1.1 : 0.4;
+    }, col.state);
+    KesslerConfig cfg;
+    cfg.sedimentation = false;  // only phase changes: water conserved
+    const double before = col.water_path();
+    Kessler<double> mp(col.grid, cfg);
+    mp.apply(col.state, 10.0);
+    EXPECT_NEAR(col.water_path(), before, 1e-10 * before);
+}
+
+TEST(Kessler, AutoconversionRequiresThreshold) {
+    MoistColumn col;
+    set_relative_humidity(col.grid, [](double) { return 0.0; }, col.state);
+    auto& qc = col.state.tracer(Species::Cloud);
+    KesslerConfig cfg;
+    cfg.sedimentation = false;
+    cfg.rain_evaporation = false;
+
+    // Below the threshold: no rain forms. (Also no saturation adjustment
+    // evaporation interference: dry air would evaporate cloud, so compare
+    // rain only.)
+    qc(1, 1, 5) = 0.5 * cfg.autoconversion_threshold * col.state.rho(1, 1, 5);
+    Kessler<double> mp(col.grid, cfg);
+    mp.apply(col.state, 1.0);
+    EXPECT_DOUBLE_EQ(col.q(Species::Rain, 5), 0.0);
+
+    // Far above the threshold: rain forms.
+    qc(1, 1, 5) = 5.0 * cfg.autoconversion_threshold * col.state.rho(1, 1, 5);
+    mp.apply(col.state, 1.0);
+    EXPECT_GT(col.q(Species::Rain, 5), 0.0);
+}
+
+TEST(Kessler, SedimentationMovesRainDownAndConservesWater) {
+    MoistColumn col;
+    set_relative_humidity(col.grid, [](double) { return 0.0; }, col.state);
+    auto& qr = col.state.tracer(Species::Rain);
+    // Rain blob aloft.
+    for (Index k = 10; k < 14; ++k)
+        qr(1, 1, k) = 2e-3 * col.state.rho(1, 1, k);
+    const double before = col.water_path();
+
+    KesslerConfig cfg;
+    cfg.rain_evaporation = false;
+    Kessler<double> mp(col.grid, cfg);
+    double fallen_before = 0.0;
+    // ~6 m/s terminal velocity from 5-7 km: give it an hour of fall time.
+    for (int step = 0; step < 180; ++step) {
+        mp.apply(col.state, 20.0);
+        const double fallen = mp.accumulated_precip()(1, 1);
+        EXPECT_GE(fallen, fallen_before);  // precip only accumulates
+        fallen_before = fallen;
+    }
+    // Water path + surface accumulation (mm == kg/m^2) is conserved.
+    EXPECT_NEAR(col.water_path() + mp.accumulated_precip()(1, 1), before,
+                1e-6 * before);
+    // Rain actually reached the ground.
+    EXPECT_GT(mp.accumulated_precip()(1, 1), 0.3 * before);
+    // No negative rain anywhere.
+    for (Index k = 0; k < col.spec.nz; ++k)
+        EXPECT_GE(col.q(Species::Rain, k), 0.0);
+}
+
+TEST(Kessler, TerminalVelocityIncreasesWithRainContent) {
+    // Indirect check through fall distance: a denser blob falls farther
+    // in one substep-limited application.
+    MoistColumn heavy, light;
+    for (auto* col : {&heavy, &light}) {
+        set_relative_humidity(col->grid, [](double) { return 0.0; },
+                              col->state);
+    }
+    heavy.state.tracer(Species::Rain)(1, 1, 15) =
+        5e-3 * heavy.state.rho(1, 1, 15);
+    light.state.tracer(Species::Rain)(1, 1, 15) =
+        1e-4 * light.state.rho(1, 1, 15);
+    KesslerConfig cfg;
+    cfg.rain_evaporation = false;
+    Kessler<double> mph(heavy.grid, cfg), mpl(light.grid, cfg);
+    mph.apply(heavy.state, 30.0);
+    mpl.apply(light.state, 30.0);
+    // Fraction moved out of the source cell is larger for the heavy blob.
+    const double fh = heavy.state.tracer(Species::Rain)(1, 1, 15) /
+                      (5e-3 * heavy.state.rho(1, 1, 15));
+    const double fl = light.state.tracer(Species::Rain)(1, 1, 15) /
+                      (1e-4 * light.state.rho(1, 1, 15));
+    EXPECT_LT(fh, fl);
+}
+
+TEST(Kessler, RequiresWarmRainSpecies) {
+    GridSpec spec = MoistColumn::make_spec();
+    Grid<double> grid(spec);
+    State<double> dry(grid, SpeciesSet::dry());
+    Kessler<double> mp(grid, KesslerConfig{});
+    EXPECT_THROW(mp.apply(dry, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace asuca

@@ -1,0 +1,96 @@
+// Property tests for the Koren flux limiter (paper ref [14]): TVD bounds,
+// third-order consistency, and monotonicity of the limited face values.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/limiter.hpp"
+
+namespace asuca {
+namespace {
+
+TEST(KorenLimiter, KnownValues) {
+    // psi(r) = max(0, min(2r, min((1+2r)/3, 2)))
+    EXPECT_DOUBLE_EQ(koren_psi(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(koren_psi(-3.0), 0.0);       // upwind at extrema
+    EXPECT_DOUBLE_EQ(koren_psi(1.0), 1.0);        // 2nd-order consistency
+    EXPECT_DOUBLE_EQ(koren_psi(0.25), 0.5);       // 2r branch
+    EXPECT_DOUBLE_EQ(koren_psi(1.0 / 4), 0.5);
+    EXPECT_DOUBLE_EQ(koren_psi(2.0), 5.0 / 3.0);  // (1+2r)/3 branch
+    EXPECT_DOUBLE_EQ(koren_psi(10.0), 2.0);       // capped at 2
+}
+
+class KorenPsiSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KorenPsiSweep, StaysInsideTvdRegion) {
+    const double r = GetParam();
+    const double psi = koren_psi(r);
+    // Sweby TVD region: 0 <= psi <= min(2r, 2) for r > 0, psi = 0 else.
+    EXPECT_GE(psi, 0.0);
+    EXPECT_LE(psi, 2.0);
+    if (r > 0) {
+        EXPECT_LE(psi, 2.0 * r + 1e-14);
+    } else {
+        EXPECT_DOUBLE_EQ(psi, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RatioSweep, KorenPsiSweep,
+                         ::testing::Values(-10.0, -1.0, -0.1, 0.0, 0.05, 0.2,
+                                           0.5, 1.0, 1.5, 2.0, 3.0, 8.0,
+                                           100.0));
+
+TEST(KorenLimiter, ThirdOrderOnSmoothData) {
+    // On smooth data the face value approaches the third-order (kappa=1/3)
+    // reconstruction: phi_f = phi_u + (d-u)/3 + (u-uu)/6.
+    auto f = [](double x) { return 1.0 + 0.1 * x + 0.02 * x * x; };
+    const double uu = f(-1.5), u = f(-0.5), d = f(0.5);
+    const double exact = koren_face_value(uu, u, d);
+    const double k3 = u + (d - u) / 3.0 + (u - uu) / 6.0;
+    EXPECT_NEAR(exact, k3, 1e-12);
+}
+
+TEST(KorenLimiter, FlatFieldReturnsUpwindValue) {
+    EXPECT_DOUBLE_EQ(koren_face_value(5.0, 5.0, 5.0), 5.0);
+    // Degenerate denominator (d == u) must not divide by zero.
+    EXPECT_DOUBLE_EQ(koren_face_value(2.0, 5.0, 5.0), 5.0);
+}
+
+TEST(KorenLimiter, FaceValueBoundedByAdjacentCells) {
+    // TVD property: the limited face value never leaves the interval
+    // spanned by the two adjacent cells (no new extrema from the flux).
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<double> dist(-10.0, 10.0);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const double uu = dist(rng), u = dist(rng), d = dist(rng);
+        const double face = koren_face_value(uu, u, d);
+        const double lo = std::min(u, d), hi = std::max(u, d);
+        EXPECT_GE(face, lo - 1e-12);
+        EXPECT_LE(face, hi + 1e-12);
+    }
+}
+
+TEST(KorenLimiter, UpwindSelectionFollowsVelocitySign) {
+    // vel > 0: reconstruct from the left stencil; vel < 0: mirrored.
+    const double m2 = 0.0, m1 = 1.0, p0 = 3.0, p1 = 10.0;
+    const double right = limited_face_value(1.0, m2, m1, p0, p1);
+    const double left = limited_face_value(-1.0, m2, m1, p0, p1);
+    EXPECT_EQ(right, koren_face_value(m2, m1, p0));
+    EXPECT_EQ(left, koren_face_value(p1, p0, m1));
+    EXPECT_NE(right, left);
+}
+
+TEST(KorenLimiter, SymmetricUnderMirror) {
+    // Mirroring the stencil and the velocity gives the same face value.
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> dist(-5.0, 5.0);
+    for (int trial = 0; trial < 500; ++trial) {
+        const double m2 = dist(rng), m1 = dist(rng), p0 = dist(rng),
+                     p1 = dist(rng);
+        EXPECT_DOUBLE_EQ(limited_face_value(2.0, m2, m1, p0, p1),
+                         limited_face_value(-2.0, p1, p0, m1, m2));
+    }
+}
+
+}  // namespace
+}  // namespace asuca

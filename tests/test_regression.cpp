@@ -1,0 +1,45 @@
+// Golden-value regression of the mountain-wave benchmark: pins the
+// numerics so refactors that change results (rather than structure) are
+// caught. Reference values were produced by this code base (double
+// precision, default scenario configuration) and are checked to tight
+// relative tolerances — looser than bitwise to allow benign compiler /
+// math-library variation, far tighter than any physical change.
+#include <gtest/gtest.h>
+
+#include "src/core/scenarios.hpp"
+
+namespace asuca {
+namespace {
+
+TEST(Regression, MountainWave20Steps) {
+    auto cfg = scenarios::mountain_wave_config<double>(32, 8, 24);
+    AsucaModel<double> m(cfg);
+    scenarios::init_mountain_wave(m);
+    m.run(20);
+
+    EXPECT_TRUE(m.is_finite());
+    EXPECT_NEAR(m.max_w(), 5.661431992493632e-01, 1e-9);
+    EXPECT_NEAR(m.state().rhow(16, 4, 8), -3.906238645608341e-02, 1e-10);
+    EXPECT_NEAR(m.state().rhow(20, 4, 12), 5.229925453715228e-02, 1e-10);
+    EXPECT_NEAR(m.state().rhotheta(16, 4, 4), 2.783053159682210e+02, 1e-7);
+    EXPECT_NEAR(m.total_mass(), 2.087559119371531e+12, 1.0e3);
+}
+
+TEST(Regression, MountainWaveAmplitudeMatchesLinearTheoryScale) {
+    // Physics check, not a pin: after spin-up the wave response over a
+    // 400 m ridge in U = 10 m/s, N = 0.01 1/s flow has w of order
+    // N * hm * (aspect corrections) ~ a few m/s at most; and well above
+    // numerical noise. Accept a generous physical band.
+    auto cfg = scenarios::mountain_wave_config<double>(64, 8, 32, false);
+    cfg.species = SpeciesSet::dry();
+    AsucaModel<double> m(cfg);
+    m.initialize(AtmosphereProfile::constant_n(288.0, 0.01), 10.0, 0.0);
+    m.run(120);  // 10 minutes
+    EXPECT_TRUE(m.is_finite());
+    const double wmax = m.max_w();
+    EXPECT_GT(wmax, 0.05);  // waves are present
+    EXPECT_LT(wmax, 4.0);   // and of linear-theory magnitude (N*hm = 4)
+}
+
+}  // namespace
+}  // namespace asuca

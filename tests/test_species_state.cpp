@@ -1,0 +1,79 @@
+// Tests for the water-species registry and the prognostic state container.
+#include <gtest/gtest.h>
+
+#include "src/core/state.hpp"
+
+namespace asuca {
+namespace {
+
+TEST(Species, WarmRainSetMatchesPaperConfiguration) {
+    const auto set = SpeciesSet::warm_rain();
+    EXPECT_EQ(set.count(), 3u);
+    EXPECT_TRUE(set.contains(Species::Vapor));
+    EXPECT_TRUE(set.contains(Species::Cloud));
+    EXPECT_TRUE(set.contains(Species::Rain));
+    EXPECT_FALSE(set.contains(Species::Snow));
+}
+
+TEST(Species, FullSetCarriesAllSevenCategories) {
+    // Paper Sec. II: alpha = v, c, r, i, s, g, h.
+    const auto set = SpeciesSet::full();
+    EXPECT_EQ(set.count(), 7u);
+    for (int n = 0; n < kNumSpecies; ++n) {
+        EXPECT_TRUE(set.contains(static_cast<Species>(n)));
+    }
+}
+
+TEST(Species, SlotsAreStable) {
+    const auto set = SpeciesSet::warm_rain();
+    EXPECT_EQ(set.slot(Species::Vapor), 0u);
+    EXPECT_EQ(set.slot(Species::Cloud), 1u);
+    EXPECT_EQ(set.slot(Species::Rain), 2u);
+    EXPECT_EQ(set.at(2), Species::Rain);
+}
+
+TEST(Species, FallSpeedOnlyForPrecipitating) {
+    EXPECT_FALSE(has_fall_speed(Species::Vapor));
+    EXPECT_FALSE(has_fall_speed(Species::Cloud));
+    EXPECT_TRUE(has_fall_speed(Species::Rain));
+    EXPECT_TRUE(has_fall_speed(Species::Snow));
+    EXPECT_TRUE(has_fall_speed(Species::Graupel));
+    EXPECT_TRUE(has_fall_speed(Species::Hail));
+}
+
+TEST(State, StaggeredExtentsFollowArakawaC) {
+    GridSpec spec;
+    spec.nx = 8;
+    spec.ny = 6;
+    spec.nz = 4;
+    Grid<double> grid(spec);
+    State<double> s(grid, SpeciesSet::warm_rain());
+    EXPECT_EQ(s.rho.extents(), (Int3{8, 6, 4}));
+    EXPECT_EQ(s.rhou.extents(), (Int3{9, 6, 4}));   // x faces
+    EXPECT_EQ(s.rhov.extents(), (Int3{8, 7, 4}));   // y faces
+    EXPECT_EQ(s.rhow.extents(), (Int3{8, 6, 5}));   // z faces (Lorenz)
+    EXPECT_EQ(s.tracers.size(), 3u);
+    EXPECT_EQ(s.num_prognostics(), 8u);
+}
+
+TEST(State, FieldLookupByVarId) {
+    GridSpec spec;
+    spec.nx = 4;
+    spec.ny = 4;
+    spec.nz = 4;
+    Grid<double> grid(spec);
+    State<double> s(grid, SpeciesSet::warm_rain());
+    s.rhou(1, 2, 3) = 42.0;
+    EXPECT_EQ(s.field(VarId::RhoU)(1, 2, 3), 42.0);
+    s.tracer(Species::Rain)(0, 0, 0) = 7.0;
+    EXPECT_EQ(s.field(tracer_var(2))(0, 0, 0), 7.0);
+
+    const auto ids = s.prognostic_ids();
+    EXPECT_EQ(ids.size(), 8u);
+    EXPECT_EQ(name_of(ids[0], s.species), "rho");
+    EXPECT_EQ(name_of(ids[5], s.species), "rho_qv");
+    EXPECT_EQ(name_of(ids[7], s.species), "rho_qr");
+}
+
+}  // namespace
+}  // namespace asuca

@@ -1,0 +1,104 @@
+// Additional coverage of the performance-model stack: whole-step
+// estimation, saturation/occupancy behaviour, cluster variants (Fermi,
+// CPU), and the substep accounting.
+#include <gtest/gtest.h>
+
+#include "src/cluster/step_model.hpp"
+#include "src/instrument/calibration.hpp"
+
+namespace asuca {
+namespace {
+
+const CalibrationResult& cal() {
+    static const CalibrationResult c = [] {
+        auto cfg = benchmark_model_config();
+        return calibrate_flops(cfg, {16, 12, 12});
+    }();
+    return c;
+}
+
+TEST(StepEstimate, ScalesLinearlyInMeshAtSaturation) {
+    gpusim::ExecutionOptions opt;
+    opt.occupancy_model = false;  // isolate the linear part
+    gpusim::RooflineModel model(gpusim::DeviceSpec::tesla_s1070(), opt);
+    const auto small = gpusim::estimate_step(cal().records, model, 100.0);
+    const auto large = gpusim::estimate_step(cal().records, model, 200.0);
+    EXPECT_NEAR(large.flops / small.flops, 2.0, 1e-9);
+    // Times: the per-launch overhead is constant, the rest doubles.
+    EXPECT_GT(large.seconds, 1.9 * small.seconds - 1e-3);
+    EXPECT_LT(large.seconds, 2.0 * small.seconds);
+}
+
+TEST(StepEstimate, OccupancyModelPenalizesSmallMeshes) {
+    gpusim::RooflineModel model(gpusim::DeviceSpec::tesla_s1070(), {});
+    const double v320x32 = 320.0 * 32 * 48 / cal().mesh.volume();
+    const double v320x256 = 320.0 * 256 * 48 / cal().mesh.volume();
+    const auto small = gpusim::estimate_step(cal().records, model, v320x32);
+    const auto large = gpusim::estimate_step(cal().records, model, v320x256);
+    // Paper Fig. 4: the small mesh runs at roughly half the GFlops.
+    EXPECT_LT(small.gflops, 0.65 * large.gflops);
+    EXPECT_GT(small.gflops, 0.3 * large.gflops);
+}
+
+TEST(StepModel, SubstepCountMatchesConfiguration) {
+    // benchmark config uses 12 short steps per dt: RK3 stages run
+    // round(12/3) + round(12/2) + 12 = 4 + 6 + 12 = 22 substeps.
+    cluster::StepModelConfig cfg;
+    cluster::StepModel model(cal(), cfg);
+    EXPECT_EQ(model.substep_count(), 22);
+}
+
+TEST(StepModel, Tsubame20OutperformsTsubame12PerGpu) {
+    cluster::StepModelConfig c12;
+    c12.decomp.px = 22;
+    c12.decomp.py = 24;
+    const auto r12 = cluster::StepModel(cal(), c12).run();
+
+    auto c20 = c12;
+    c20.cluster = cluster::ClusterSpec::tsubame20();
+    const auto r20 = cluster::StepModel(cal(), c20).run();
+    EXPECT_GT(r20.gflops_per_gpu, 1.2 * r12.gflops_per_gpu);
+    // More bandwidth hides a larger comm fraction.
+    const double hid12 = 1.0 - (r12.total_s - r12.compute_s) /
+                                   (r12.mpi_s + r12.pcie_s);
+    const double hid20 = 1.0 - (r20.total_s - r20.compute_s) /
+                                   (r20.mpi_s + r20.pcie_s);
+    EXPECT_GE(hid20, hid12 - 1e-9);
+}
+
+TEST(StepModel, CpuClusterIsFarSlower) {
+    cluster::StepModelConfig gpu;
+    gpu.decomp.px = 6;
+    gpu.decomp.py = 9;
+    const auto rg = cluster::StepModel(cal(), gpu).run();
+
+    auto cpu = gpu;
+    cpu.cluster = cluster::ClusterSpec::tsubame12_cpu();
+    cpu.exec.precision = Precision::Double;
+    cpu.exec.layout = Layout::ZXY;
+    const auto rc = cluster::StepModel(cal(), cpu).run();
+    // Paper Fig. 10: the CPU line is far below the GPU lines.
+    EXPECT_GT(rg.tflops_total, 20.0 * rc.tflops_total);
+}
+
+TEST(StepModel, SingleRankHasNoCommunication) {
+    cluster::StepModelConfig cfg;
+    cfg.decomp.px = 1;
+    cfg.decomp.py = 1;
+    const auto r = cluster::StepModel(cal(), cfg).run();
+    EXPECT_EQ(r.mpi_s, 0.0);
+    EXPECT_EQ(r.pcie_s, 0.0);
+    EXPECT_NEAR(r.total_s, r.compute_s, 1e-12);
+}
+
+TEST(StepModel, FlopsScaleWithLocalMesh) {
+    cluster::StepModelConfig a;
+    auto b = a;
+    b.decomp.local = {160, 128, 48};
+    const double fa = cluster::StepModel(cal(), a).step_flops();
+    const double fb = cluster::StepModel(cal(), b).step_flops();
+    EXPECT_NEAR(fa / fb, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace asuca

@@ -1,0 +1,85 @@
+// Tests for the thread-pool parallel substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/parallel/thread_pool.hpp"
+
+namespace asuca {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    const Index n = 10007;  // prime: uneven chunks
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](Index b, Index e) {
+        for (Index i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (Index i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+    }
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+    ThreadPool pool(3);
+    const Index n = 100000;
+    std::atomic<long long> sum{0};
+    pool.parallel_for(n, [&](Index b, Index e) {
+        long long local = 0;
+        for (Index i = b; i < e; ++i) local += i;
+        sum += local;
+    });
+    EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, EmptyAndSingleRangesWork) {
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.parallel_for(0, [&](Index, Index) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallel_for(1, [&](Index b, Index e) {
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 1);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(1000,
+                                   [&](Index b, Index) {
+                                       if (b > 0) {
+                                           throw std::runtime_error("boom");
+                                       }
+                                   }),
+                 std::runtime_error);
+    // Pool stays usable afterwards.
+    std::atomic<int> ok{0};
+    pool.parallel_for_each(10, [&](Index) { ok++; });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.num_threads(), 1u);
+    const auto caller = std::this_thread::get_id();
+    pool.parallel_for(100, [&](Index, Index) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, GlobalPoolIsReusable) {
+    std::atomic<int> total{0};
+    for (int round = 0; round < 5; ++round) {
+        parallel_for(1000, [&](Index b, Index e) {
+            total += static_cast<int>(e - b);
+        });
+    }
+    EXPECT_EQ(total.load(), 5000);
+}
+
+}  // namespace
+}  // namespace asuca

@@ -1,0 +1,105 @@
+// Tests for the Thomas solver behind the 1-D Helmholtz-like equation.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/core/tridiagonal.hpp"
+
+namespace asuca {
+namespace {
+
+/// Dense reference: Gaussian elimination with partial pivoting.
+std::vector<double> dense_solve(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t piv = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a[r][col]) > std::abs(a[piv][col])) piv = r;
+        }
+        std::swap(a[col], a[piv]);
+        std::swap(b[col], b[piv]);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r][col] / a[col][col];
+            for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n);
+    for (std::size_t r = n; r-- > 0;) {
+        double s = b[r];
+        for (std::size_t c = r + 1; c < n; ++c) s -= a[r][c] * x[c];
+        x[r] = s / a[r][r];
+    }
+    return x;
+}
+
+class TridiagonalSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TridiagonalSizes, MatchesDenseReference) {
+    const auto n = static_cast<std::size_t>(GetParam());
+    std::mt19937 rng(1234 + GetParam());
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+    std::vector<double> lower(n), diag(n), upper(n), rhs(n), scratch(n);
+    std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+    std::vector<double> b(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        lower[k] = dist(rng);
+        upper[k] = dist(rng);
+        // Diagonally dominant (the HE-VI operator always is).
+        diag[k] = 3.0 + std::abs(dist(rng));
+        rhs[k] = b[k] = dist(rng) * 5.0;
+        dense[k][k] = diag[k];
+        if (k > 0) dense[k][k - 1] = lower[k];
+        if (k + 1 < n) dense[k][k + 1] = upper[k];
+    }
+    const auto expected = dense_solve(dense, b);
+    solve_tridiagonal<double>(lower, diag, upper, rhs, scratch);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(rhs[k], expected[k], 1e-11) << "row " << k << " n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagonalSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 47, 48, 100));
+
+TEST(Tridiagonal, SolvesIdentity) {
+    std::vector<double> lower(4, 0.0), diag(4, 1.0), upper(4, 0.0);
+    std::vector<double> rhs{1.0, -2.0, 3.0, 0.5}, scratch(4);
+    solve_tridiagonal<double>(lower, diag, upper, rhs, scratch);
+    EXPECT_DOUBLE_EQ(rhs[0], 1.0);
+    EXPECT_DOUBLE_EQ(rhs[1], -2.0);
+    EXPECT_DOUBLE_EQ(rhs[2], 3.0);
+    EXPECT_DOUBLE_EQ(rhs[3], 0.5);
+}
+
+TEST(Tridiagonal, SecondDifferenceOperator) {
+    // -x_{k-1} + 2 x_k - x_{k+1} = h^2 f with x=0 ends: discrete Poisson.
+    const std::size_t n = 32;
+    std::vector<double> lower(n, -1.0), diag(n, 2.0), upper(n, -1.0);
+    std::vector<double> rhs(n), scratch(n);
+    const double h = 1.0 / (n + 1);
+    for (std::size_t k = 0; k < n; ++k) {
+        rhs[k] = h * h * 1.0;  // f = 1
+    }
+    solve_tridiagonal<double>(lower, diag, upper, rhs, scratch);
+    // Analytic solution of -u'' = 1, u(0)=u(1)=0: u = x(1-x)/2.
+    for (std::size_t k = 0; k < n; ++k) {
+        const double x = (k + 1) * h;
+        EXPECT_NEAR(rhs[k], 0.5 * x * (1.0 - x), 1e-12);
+    }
+}
+
+TEST(Tridiagonal, SinglePrecisionWorks) {
+    std::vector<float> lower{0.f, 1.f, 1.f}, diag{4.f, 4.f, 4.f},
+        upper{1.f, 1.f, 0.f}, rhs{5.f, 6.f, 5.f}, scratch(3);
+    solve_tridiagonal<float>(lower, diag, upper, rhs, scratch);
+    EXPECT_NEAR(rhs[0], 1.0f, 1e-6f);
+    EXPECT_NEAR(rhs[1], 1.0f, 1e-6f);
+    EXPECT_NEAR(rhs[2], 1.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace asuca
