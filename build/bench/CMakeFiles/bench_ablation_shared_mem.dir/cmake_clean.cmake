@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shared_mem.dir/bench_ablation_shared_mem.cpp.o"
+  "CMakeFiles/bench_ablation_shared_mem.dir/bench_ablation_shared_mem.cpp.o.d"
+  "bench_ablation_shared_mem"
+  "bench_ablation_shared_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_substeps.dir/bench_ablation_substeps.cpp.o"
+  "CMakeFiles/bench_ablation_substeps.dir/bench_ablation_substeps.cpp.o.d"
+  "bench_ablation_substeps"
+  "bench_ablation_substeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_substeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_inventory.dir/bench_kernel_inventory.cpp.o"
+  "CMakeFiles/bench_kernel_inventory.dir/bench_kernel_inventory.cpp.o.d"
+  "bench_kernel_inventory"
+  "bench_kernel_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_tsubame2_projection.dir/bench_sec7_tsubame2_projection.cpp.o"
+  "CMakeFiles/bench_sec7_tsubame2_projection.dir/bench_sec7_tsubame2_projection.cpp.o.d"
+  "bench_sec7_tsubame2_projection"
+  "bench_sec7_tsubame2_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_tsubame2_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposed_run.dir/decomposed_run.cpp.o"
+  "CMakeFiles/decomposed_run.dir/decomposed_run.cpp.o.d"
+  "decomposed_run"
+  "decomposed_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposed_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

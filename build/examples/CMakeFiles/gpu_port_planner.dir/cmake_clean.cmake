@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_port_planner.dir/gpu_port_planner.cpp.o"
+  "CMakeFiles/gpu_port_planner.dir/gpu_port_planner.cpp.o.d"
+  "gpu_port_planner"
+  "gpu_port_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_port_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

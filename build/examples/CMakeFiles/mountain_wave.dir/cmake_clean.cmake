@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mountain_wave.dir/mountain_wave.cpp.o"
+  "CMakeFiles/mountain_wave.dir/mountain_wave.cpp.o.d"
+  "mountain_wave"
+  "mountain_wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mountain_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

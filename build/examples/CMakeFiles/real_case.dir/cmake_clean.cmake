@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_case.dir/real_case.cpp.o"
+  "CMakeFiles/real_case.dir/real_case.cpp.o.d"
+  "real_case"
+  "real_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

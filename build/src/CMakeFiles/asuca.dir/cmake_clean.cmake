@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asuca.dir/common/error.cpp.o"
+  "CMakeFiles/asuca.dir/common/error.cpp.o.d"
+  "CMakeFiles/asuca.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/asuca.dir/parallel/thread_pool.cpp.o.d"
+  "libasuca.a"
+  "libasuca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asuca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

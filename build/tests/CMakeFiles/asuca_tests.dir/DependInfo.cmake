@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acoustic.cpp" "tests/CMakeFiles/asuca_tests.dir/test_acoustic.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_acoustic.cpp.o.d"
+  "/root/repo/tests/test_advection.cpp" "tests/CMakeFiles/asuca_tests.dir/test_advection.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_advection.cpp.o.d"
+  "/root/repo/tests/test_array3.cpp" "tests/CMakeFiles/asuca_tests.dir/test_array3.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_array3.cpp.o.d"
+  "/root/repo/tests/test_boundary.cpp" "tests/CMakeFiles/asuca_tests.dir/test_boundary.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_boundary.cpp.o.d"
+  "/root/repo/tests/test_cluster_model.cpp" "tests/CMakeFiles/asuca_tests.dir/test_cluster_model.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_cluster_model.cpp.o.d"
+  "/root/repo/tests/test_dycore_basic.cpp" "tests/CMakeFiles/asuca_tests.dir/test_dycore_basic.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_dycore_basic.cpp.o.d"
+  "/root/repo/tests/test_eos_profile.cpp" "tests/CMakeFiles/asuca_tests.dir/test_eos_profile.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_eos_profile.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/asuca_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_failure_modes.cpp" "tests/CMakeFiles/asuca_tests.dir/test_failure_modes.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_failure_modes.cpp.o.d"
+  "/root/repo/tests/test_gpu_port.cpp" "tests/CMakeFiles/asuca_tests.dir/test_gpu_port.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_gpu_port.cpp.o.d"
+  "/root/repo/tests/test_gpusim.cpp" "tests/CMakeFiles/asuca_tests.dir/test_gpusim.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_gpusim.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/asuca_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_halo_width.cpp" "tests/CMakeFiles/asuca_tests.dir/test_halo_width.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_halo_width.cpp.o.d"
+  "/root/repo/tests/test_hyperdiffusion.cpp" "tests/CMakeFiles/asuca_tests.dir/test_hyperdiffusion.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_hyperdiffusion.cpp.o.d"
+  "/root/repo/tests/test_instrument.cpp" "tests/CMakeFiles/asuca_tests.dir/test_instrument.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_instrument.cpp.o.d"
+  "/root/repo/tests/test_io_diagnostics.cpp" "tests/CMakeFiles/asuca_tests.dir/test_io_diagnostics.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_io_diagnostics.cpp.o.d"
+  "/root/repo/tests/test_kessler.cpp" "tests/CMakeFiles/asuca_tests.dir/test_kessler.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_kessler.cpp.o.d"
+  "/root/repo/tests/test_limiter.cpp" "tests/CMakeFiles/asuca_tests.dir/test_limiter.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_limiter.cpp.o.d"
+  "/root/repo/tests/test_mass_flux.cpp" "tests/CMakeFiles/asuca_tests.dir/test_mass_flux.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_mass_flux.cpp.o.d"
+  "/root/repo/tests/test_model_facade.cpp" "tests/CMakeFiles/asuca_tests.dir/test_model_facade.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_model_facade.cpp.o.d"
+  "/root/repo/tests/test_multidomain.cpp" "tests/CMakeFiles/asuca_tests.dir/test_multidomain.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_multidomain.cpp.o.d"
+  "/root/repo/tests/test_regression.cpp" "tests/CMakeFiles/asuca_tests.dir/test_regression.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_regression.cpp.o.d"
+  "/root/repo/tests/test_species_state.cpp" "tests/CMakeFiles/asuca_tests.dir/test_species_state.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_species_state.cpp.o.d"
+  "/root/repo/tests/test_step_model_extra.cpp" "tests/CMakeFiles/asuca_tests.dir/test_step_model_extra.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_step_model_extra.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/asuca_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_timestepper.cpp" "tests/CMakeFiles/asuca_tests.dir/test_timestepper.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_timestepper.cpp.o.d"
+  "/root/repo/tests/test_tridiagonal.cpp" "tests/CMakeFiles/asuca_tests.dir/test_tridiagonal.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_tridiagonal.cpp.o.d"
+  "/root/repo/tests/test_typed_precision.cpp" "tests/CMakeFiles/asuca_tests.dir/test_typed_precision.cpp.o" "gcc" "tests/CMakeFiles/asuca_tests.dir/test_typed_precision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/asuca.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(asuca_tests "/root/repo/build/tests/asuca_tests")
+set_tests_properties(asuca_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "12" "12" "10" "1")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_mountain_wave "/root/repo/build/examples/mountain_wave" "24" "8" "16" "2")
+set_tests_properties(example_mountain_wave PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_real_case "/root/repo/build/examples/real_case" "24" "24" "12" "2")
+set_tests_properties(example_real_case PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;20;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_gpu_port_planner "/root/repo/build/examples/gpu_port_planner" "4" "4")
+set_tests_properties(example_gpu_port_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;22;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_decomposed_run "/root/repo/build/examples/decomposed_run" "2" "2" "2")
+set_tests_properties(example_decomposed_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
