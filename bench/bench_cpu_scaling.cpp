@@ -1,0 +1,191 @@
+// CPU thread-scaling of the full RK3/HE-VI step (j-slab decomposition).
+//
+// The paper's CPU baseline (Sec. IV-B) is a single Opteron core; this
+// bench measures how the same numerics scale across host cores with the
+// ThreadPool's j-slab parallelization, sweeping 1/2/4/N threads over the
+// Sec. IV-B mountain-wave + warm-rain configuration (size-reduced mesh
+// for runtime). Per-kernel measured wall time is compared against the
+// roofline model on the paper's baseline core, and everything is written
+// to BENCH_cpu_scaling.json for the driver.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/core/model.hpp"
+#include "src/instrument/kernel_registry.hpp"
+#include "src/parallel/thread_pool.hpp"
+
+using namespace asuca;
+using namespace asuca::bench;
+
+namespace {
+
+struct RunResult {
+    std::size_t threads = 0;
+    double seconds_per_step = 0;
+    std::vector<KernelRecord> kernels;  ///< per-step registry records
+};
+
+/// Time `steps` long steps of the benchmark configuration at `mesh` with
+/// the global pool set to `threads`, returning per-step kernel records.
+RunResult run_at(Int3 mesh, std::size_t threads, int steps) {
+    ThreadPool::set_global_threads(threads);
+
+    ModelConfig<double> cfg;
+    const auto ref = benchmark_model_config();
+    cfg.grid = ref.grid;
+    cfg.grid.nx = mesh.x;
+    cfg.grid.ny = mesh.y;
+    cfg.grid.nz = mesh.z;
+    cfg.stepper = ref.stepper;
+    cfg.kessler = ref.kessler;
+    cfg.microphysics = ref.microphysics;
+    cfg.species = ref.species;
+    AsucaModel<double> model(cfg);
+    model.initialize(AtmosphereProfile::constant_n(300.0, 0.01), 10.0, 0.0);
+    set_relative_humidity(
+        model.grid(), [](double z) { return z < 2000.0 ? 0.6 : 0.2; },
+        model.state());
+    model.stepper().apply_state_bcs(model.state());
+    model.step();  // warm-up: cold memory + workspace sync
+
+    auto& reg = KernelRegistry::global();
+    reg.reset();
+    Timer t;
+    t.start();
+    model.run(steps);
+    t.stop();
+
+    RunResult r;
+    r.threads = ThreadPool::global().num_threads();
+    r.seconds_per_step = t.seconds() / steps;
+    r.kernels = reg.records();
+    for (auto& k : r.kernels) k.seconds /= steps;
+    return r;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    title("CPU thread scaling — full RK3/HE-VI step, j-slab decomposition");
+
+    // Size-reduced Sec. IV-B mesh (nz matches the paper's 48 levels).
+    Int3 mesh{64, 48, 48};
+    int steps = 2;
+    if (argc > 3) {
+        mesh = {std::atoll(argv[1]), std::atoll(argv[2]),
+                std::atoll(argv[3])};
+    }
+    if (argc > 4) steps = std::atoi(argv[4]);
+
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<std::size_t> sweep = {1, 2, 4, hw};
+    std::sort(sweep.begin(), sweep.end());
+    sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+    sweep.erase(std::remove_if(sweep.begin(), sweep.end(),
+                               [&](std::size_t t) { return t > hw; }),
+                sweep.end());
+    if (sweep.empty() || sweep.back() != hw) sweep.push_back(hw);
+
+    std::printf("  mesh %lldx%lldx%lld, %d timed steps, host has %zu core%s\n",
+                static_cast<long long>(mesh.x),
+                static_cast<long long>(mesh.y),
+                static_cast<long long>(mesh.z), steps, hw,
+                hw == 1 ? "" : "s");
+
+    std::vector<RunResult> results;
+    for (std::size_t t : sweep) results.push_back(run_at(mesh, t, steps));
+    const double base = results.front().seconds_per_step;
+
+    std::printf("\n%10s %14s %10s %12s\n", "threads", "s/step", "speedup",
+                "efficiency");
+    for (const auto& r : results) {
+        const double sp = base / r.seconds_per_step;
+        std::printf("%10zu %14.4f %9.2fx %11.0f%%\n", r.threads,
+                    r.seconds_per_step, sp,
+                    100.0 * sp / static_cast<double>(r.threads));
+    }
+
+    // Per-kernel measured time at max threads vs the roofline model on
+    // the paper's baseline core (Opteron, double precision, kij layout).
+    const auto& best = results.back();
+    const auto cpu_model = make_model(gpusim::DeviceSpec::opteron_core(),
+                                      Precision::Double, Layout::ZXY);
+    const double scale = static_cast<double>(mesh.volume()) /
+                         static_cast<double>(calibration().mesh.volume());
+    const auto modeled = estimate_step(calibration().records, cpu_model,
+                                       scale);
+    auto modeled_seconds = [&](const std::string& name) {
+        for (const auto& k : modeled.kernels)
+            if (k.name == name) return k.seconds;
+        return 0.0;
+    };
+
+    std::vector<KernelRecord> kernels = best.kernels;
+    std::sort(kernels.begin(), kernels.end(),
+              [](const KernelRecord& a, const KernelRecord& b) {
+                  return a.seconds > b.seconds;
+              });
+    std::printf("\n%-26s %14s %16s\n", "kernel",
+                "measured [ms]", "Opteron model [ms]");
+    for (const auto& k : kernels) {
+        std::printf("%-26s %14.3f %16.3f\n", k.name.c_str(),
+                    1e3 * k.seconds, 1e3 * modeled_seconds(k.name));
+    }
+
+    // Machine-readable output for the driver.
+    const char* path = "BENCH_cpu_scaling.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"config\": \"mountain_wave_warm_rain\",\n"
+                 "  \"mesh\": [%lld, %lld, %lld],\n"
+                 "  \"timed_steps\": %d,\n"
+                 "  \"hardware_threads\": %zu,\n",
+                 static_cast<long long>(mesh.x),
+                 static_cast<long long>(mesh.y),
+                 static_cast<long long>(mesh.z), steps, hw);
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t n = 0; n < results.size(); ++n) {
+        const auto& r = results[n];
+        std::fprintf(f,
+                     "    {\"threads\": %zu, \"seconds_per_step\": %.6e, "
+                     "\"speedup\": %.4f}%s\n",
+                     r.threads, r.seconds_per_step,
+                     base / r.seconds_per_step,
+                     n + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"kernels_at_max_threads\": [\n");
+    for (std::size_t n = 0; n < kernels.size(); ++n) {
+        const auto& k = kernels[n];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"measured_seconds\": %.6e, "
+                     "\"modeled_opteron_seconds\": %.6e, \"flops\": %llu}%s\n",
+                     json_escape(k.name).c_str(), k.seconds,
+                     modeled_seconds(k.name),
+                     static_cast<unsigned long long>(k.flops),
+                     n + 1 < kernels.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n  wrote %s\n", path);
+    return 0;
+}

@@ -85,40 +85,48 @@ class AcousticStepper {
         auto theta = [&](Index i, Index j, Index k) {
             return bar.rhotheta(i, j, k) / bar.rho(i, j, k);
         };
-        for (Index j = -h + 1; j < ny + h - 1; ++j) {
-            for (Index k = 0; k < nz; ++k) {
-                for (Index i = -h + 1; i < nx + h - 1; ++i) {
-                    cpt_(i, j, k) =
-                        eos_dp_drhotheta(bar.p(i, j, k), bar.rhotheta(i, j, k));
+        parallel_for_range(-h + 1, ny + h - 1, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j) {
+                for (Index k = 0; k < nz; ++k) {
+                    for (Index i = -h + 1; i < nx + h - 1; ++i) {
+                        cpt_(i, j, k) = eos_dp_drhotheta(
+                            bar.p(i, j, k), bar.rhotheta(i, j, k));
+                    }
                 }
             }
-        }
-        for (Index j = -h + 1; j < ny + h - 1; ++j) {
-            for (Index k = 0; k < nz; ++k) {
-                for (Index i = -h + 2; i < nx + h - 1; ++i) {
-                    thf_x_(i, j, k) =
-                        T(0.5) * (theta(i - 1, j, k) + theta(i, j, k));
+        });
+        parallel_for_range(-h + 1, ny + h - 1, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j) {
+                for (Index k = 0; k < nz; ++k) {
+                    for (Index i = -h + 2; i < nx + h - 1; ++i) {
+                        thf_x_(i, j, k) =
+                            T(0.5) * (theta(i - 1, j, k) + theta(i, j, k));
+                    }
                 }
             }
-        }
-        for (Index j = -h + 2; j < ny + h - 1; ++j) {
-            for (Index k = 0; k < nz; ++k) {
-                for (Index i = -h + 1; i < nx + h - 1; ++i) {
-                    thf_y_(i, j, k) =
-                        T(0.5) * (theta(i, j - 1, k) + theta(i, j, k));
+        });
+        parallel_for_range(-h + 2, ny + h - 1, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j) {
+                for (Index k = 0; k < nz; ++k) {
+                    for (Index i = -h + 1; i < nx + h - 1; ++i) {
+                        thf_y_(i, j, k) =
+                            T(0.5) * (theta(i, j - 1, k) + theta(i, j, k));
+                    }
                 }
             }
-        }
-        for (Index j = -h + 1; j < ny + h - 1; ++j) {
-            for (Index k = 0; k <= nz; ++k) {
-                const Index km = k > 0 ? k - 1 : 0;
-                const Index kc = k < nz ? k : nz - 1;
-                for (Index i = -h + 1; i < nx + h - 1; ++i) {
-                    thf_z_(i, j, k) =
-                        T(0.5) * (theta(i, j, km) + theta(i, j, kc));
+        });
+        parallel_for_range(-h + 1, ny + h - 1, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j) {
+                for (Index k = 0; k <= nz; ++k) {
+                    const Index km = k > 0 ? k - 1 : 0;
+                    const Index kc = k < nz ? k : nz - 1;
+                    for (Index i = -h + 1; i < nx + h - 1; ++i) {
+                        thf_z_(i, j, k) =
+                            T(0.5) * (theta(i, j, km) + theta(i, j, kc));
+                    }
                 }
             }
-        }
+        });
     }
 
     /// Deviations at the start of the stage: current state minus the
@@ -130,10 +138,12 @@ class AcousticStepper {
         diff_into(now.rho, bar.rho, drho_);
         diff_into(now.rhotheta, bar.rhotheta, dth_);
         const Index h = grid_.halo();
-        for (Index j = -h; j < grid_.ny() + h; ++j)
-            for (Index k = 0; k < grid_.nz(); ++k)
-                for (Index i = -h; i < grid_.nx() + h; ++i)
-                    dp_(i, j, k) = cpt_(i, j, k) * dth_(i, j, k);
+        parallel_for_range(-h, grid_.ny() + h, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = 0; k < grid_.nz(); ++k)
+                    for (Index i = -h; i < grid_.nx() + h; ++i)
+                        dp_(i, j, k) = cpt_(i, j, k) * dth_(i, j, k);
+        });
     }
 
     /// Advance the deviations by one acoustic substep of length dtau.
@@ -163,10 +173,12 @@ class AcousticStepper {
         const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
         KernelScope scope("eos_pressure", {/*reads=*/1, /*writes=*/1, 0},
                           static_cast<std::uint64_t>(nx * ny * nz));
-        for (Index j = 0; j < ny; ++j)
-            for (Index k = 0; k < nz; ++k)
-                for (Index i = 0; i < nx; ++i)
-                    out.p(i, j, k) = eos_pressure(out.rhotheta(i, j, k));
+        parallel_for(ny, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = 0; k < nz; ++k)
+                    for (Index i = 0; i < nx; ++i)
+                        out.p(i, j, k) = eos_pressure(out.rhotheta(i, j, k));
+        });
     }
 
     /// Deviation accessors. Mutable access is for multi-domain halo
@@ -189,18 +201,22 @@ class AcousticStepper {
     template <class A>
     static void diff_into(const A& a, const A& b, A& out) {
         const Index h = a.halo();
-        for (Index j = -h; j < a.ny() + h; ++j)
-            for (Index k = -h; k < a.nz() + h; ++k)
-                for (Index i = -h; i < a.nx() + h; ++i)
-                    out(i, j, k) = a(i, j, k) - b(i, j, k);
+        parallel_for_range(-h, a.ny() + h, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = -h; k < a.nz() + h; ++k)
+                    for (Index i = -h; i < a.nx() + h; ++i)
+                        out(i, j, k) = a(i, j, k) - b(i, j, k);
+        });
     }
     template <class A>
     static void sum_into(const A& a, const A& d, A& out) {
         const Index h = a.halo();
-        for (Index j = -h; j < a.ny() + h; ++j)
-            for (Index k = -h; k < a.nz() + h; ++k)
-                for (Index i = -h; i < a.nx() + h; ++i)
-                    out(i, j, k) = a(i, j, k) + d(i, j, k);
+        parallel_for_range(-h, a.ny() + h, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = -h; k < a.nz() + h; ++k)
+                    for (Index i = -h; i < a.nx() + h; ++i)
+                        out(i, j, k) = a(i, j, k) + d(i, j, k);
+        });
     }
 
   public:
@@ -263,7 +279,7 @@ class AcousticStepper {
         {
             KernelScope scope("pgf_x_short", {/*reads=*/4, /*writes=*/1, 16},
                               static_cast<std::uint64_t>(nx * ny * nz));
-            tend_u_.fill(T(0));
+            fill_parallel(tend_u_, T(0));
             pgf_x(grid_, dp_half_, tend_u_);
             parallel_for(ny, [&](Index jb, Index je) {
                 for (Index j = jb; j < je; ++j)
@@ -276,7 +292,7 @@ class AcousticStepper {
         {
             KernelScope scope("pgf_y_short", {/*reads=*/4, /*writes=*/1, 16},
                               static_cast<std::uint64_t>(nx * ny * nz));
-            tend_v_.fill(T(0));
+            fill_parallel(tend_v_, T(0));
             pgf_y(grid_, dp_half_, tend_v_);
             parallel_for(ny, [&](Index jb, Index je) {
                 for (Index j = jb; j < je; ++j)
@@ -294,13 +310,15 @@ class AcousticStepper {
         const Index nx = grid_.nx(), ny = grid_.ny();
         const auto& zx = grid_.slope_x_zface();
         const auto& zy = grid_.slope_y_zface();
-        for (Index j = -1; j < ny + 1; ++j) {
-            for (Index i = -1; i < nx + 1; ++i) {
-                const T dmu = T(0.5) * (du_(i, j, 0) + du_(i + 1, j, 0));
-                const T dmv = T(0.5) * (dv_(i, j, 0) + dv_(i, j + 1, 0));
-                dw_(i, j, 0) = dmu * zx(i, j, 0) + dmv * zy(i, j, 0);
+        parallel_for_range(-1, ny + 1, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j) {
+                for (Index i = -1; i < nx + 1; ++i) {
+                    const T dmu = T(0.5) * (du_(i, j, 0) + du_(i + 1, j, 0));
+                    const T dmv = T(0.5) * (dv_(i, j, 0) + dv_(i, j + 1, 0));
+                    dw_(i, j, 0) = dmu * zx(i, j, 0) + dmv * zy(i, j, 0);
+                }
             }
-        }
+        });
     }
 
     /// Deviation contravariant flux (J * rho * u3)' at z-face k, using the

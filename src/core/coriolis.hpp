@@ -10,6 +10,7 @@
 #include "src/core/state.hpp"
 #include "src/field/array3.hpp"
 #include "src/grid/grid.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace asuca {
 
@@ -20,24 +21,26 @@ void coriolis(const Grid<T>& grid, const State<T>& state, Array3<T>& tend_rhou,
     if (f == T(0)) return;
     const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
 
-    for (Index j = 0; j < ny; ++j) {
-        for (Index k = 0; k < nz; ++k) {
-            for (Index i = 0; i < nx; ++i) {
-                // rho*v averaged to the x-face (4 surrounding y-faces).
-                const T rv = T(0.25) * (state.rhov(i - 1, j, k) +
-                                        state.rhov(i - 1, j + 1, k) +
-                                        state.rhov(i, j, k) +
-                                        state.rhov(i, j + 1, k));
-                tend_rhou(i, j, k) += f * rv;
-                // rho*u averaged to the y-face.
-                const T ru = T(0.25) * (state.rhou(i, j - 1, k) +
-                                        state.rhou(i + 1, j - 1, k) +
-                                        state.rhou(i, j, k) +
-                                        state.rhou(i + 1, j, k));
-                tend_rhov(i, j, k) -= f * ru;
+    parallel_for(ny, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                for (Index i = 0; i < nx; ++i) {
+                    // rho*v averaged to the x-face (4 surrounding y-faces).
+                    const T rv = T(0.25) * (state.rhov(i - 1, j, k) +
+                                            state.rhov(i - 1, j + 1, k) +
+                                            state.rhov(i, j, k) +
+                                            state.rhov(i, j + 1, k));
+                    tend_rhou(i, j, k) += f * rv;
+                    // rho*u averaged to the y-face.
+                    const T ru = T(0.25) * (state.rhou(i, j - 1, k) +
+                                            state.rhou(i + 1, j - 1, k) +
+                                            state.rhou(i, j, k) +
+                                            state.rhou(i + 1, j, k));
+                    tend_rhov(i, j, k) -= f * ru;
+                }
             }
         }
-    }
+    });
 }
 
 }  // namespace asuca

@@ -59,24 +59,27 @@ void diffuse_generic(const Grid<T>& grid, const Array3<T>& field,
     auto phi = [&](Index i, Index j, Index k) {
         return field(i, j, k) / rho_at(i, j, k);
     };
-    for (Index j = 0; j < ny; ++j) {
-        for (Index k = k_begin; k < k_end; ++k) {
-            const Index km = k > k_begin ? k - 1 : k;
-            const Index kp = k < k_end - 1 ? k + 1 : k;
-            const T dz = T(grid.dzeta(std::min<Index>(k, grid.nz() - 1)));
-            const T rdz2 = T(1) / (dz * dz);
-            for (Index i = 0; i < nx; ++i) {
-                const T c = phi(i, j, k);
-                const T lap_h = (phi(i + 1, j, k) - T(2) * c +
-                                 phi(i - 1, j, k)) * rdx2 +
-                                (phi(i, j + 1, k) - T(2) * c +
-                                 phi(i, j - 1, k)) * rdy2;
-                const T lap_v =
-                    (phi(i, j, kp) - T(2) * c + phi(i, j, km)) * rdz2;
-                tend(i, j, k) += rho_at(i, j, k) * (kh * lap_h + kv * lap_v);
+    parallel_for(ny, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = k_begin; k < k_end; ++k) {
+                const Index km = k > k_begin ? k - 1 : k;
+                const Index kp = k < k_end - 1 ? k + 1 : k;
+                const T dz = T(grid.dzeta(std::min<Index>(k, grid.nz() - 1)));
+                const T rdz2 = T(1) / (dz * dz);
+                for (Index i = 0; i < nx; ++i) {
+                    const T c = phi(i, j, k);
+                    const T lap_h = (phi(i + 1, j, k) - T(2) * c +
+                                     phi(i - 1, j, k)) * rdx2 +
+                                    (phi(i, j + 1, k) - T(2) * c +
+                                     phi(i, j - 1, k)) * rdy2;
+                    const T lap_v =
+                        (phi(i, j, kp) - T(2) * c + phi(i, j, km)) * rdz2;
+                    tend(i, j, k) +=
+                        rho_at(i, j, k) * (kh * lap_h + kv * lap_v);
+                }
             }
         }
-    }
+    });
 }
 
 }  // namespace detail
@@ -119,24 +122,26 @@ void diffusion(const Grid<T>& grid, const State<T>& state,
         return state.rhotheta(i, j, k) / rho(i, j, k) -
                state.rhotheta_ref(i, j, k) / state.rho_ref(i, j, k);
     };
-    for (Index j = 0; j < ny; ++j) {
-        for (Index k = 0; k < nz; ++k) {
-            const Index km = k > 0 ? k - 1 : k;
-            const Index kp = k < nz - 1 ? k + 1 : k;
-            const T dz = T(grid.dzeta(k));
-            const T rdz2 = T(1) / (dz * dz);
-            for (Index i = 0; i < nx; ++i) {
-                const T c = th(i, j, k);
-                const T lap =
-                    kh * ((th(i + 1, j, k) - T(2) * c + th(i - 1, j, k)) *
-                              rdx2 +
-                          (th(i, j + 1, k) - T(2) * c + th(i, j - 1, k)) *
-                              rdy2) +
-                    kv * (th(i, j, kp) - T(2) * c + th(i, j, km)) * rdz2;
-                tend.rhotheta(i, j, k) += rho(i, j, k) * lap;
+    parallel_for(ny, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                const Index km = k > 0 ? k - 1 : k;
+                const Index kp = k < nz - 1 ? k + 1 : k;
+                const T dz = T(grid.dzeta(k));
+                const T rdz2 = T(1) / (dz * dz);
+                for (Index i = 0; i < nx; ++i) {
+                    const T c = th(i, j, k);
+                    const T lap =
+                        kh * ((th(i + 1, j, k) - T(2) * c + th(i - 1, j, k)) *
+                                  rdx2 +
+                              (th(i, j + 1, k) - T(2) * c + th(i, j - 1, k)) *
+                                  rdy2) +
+                        kv * (th(i, j, kp) - T(2) * c + th(i, j, km)) * rdz2;
+                    tend.rhotheta(i, j, k) += rho(i, j, k) * lap;
+                }
             }
         }
-    }
+    });
 }
 
 /// 4th-order horizontal hyperdiffusion of the velocity components and the
@@ -207,18 +212,20 @@ void sponge_damping(const Grid<T>& grid, const State<T>& state,
     if (cfg.z_start < 0.0) return;
     const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
     const double ztop = grid.ztop();
-    for (Index j = 0; j < ny; ++j) {
-        for (Index k = 1; k < nz; ++k) {
-            const double z = grid.zeta_face(k);  // sponge keyed on zeta
-            if (z <= cfg.z_start) continue;
-            const double s = (z - cfg.z_start) / (ztop - cfg.z_start);
-            const double sn = std::sin(0.5 * M_PI * s);
-            const T rate = T(sn * sn / cfg.time_scale);
-            for (Index i = 0; i < nx; ++i) {
-                tend_rhow(i, j, k) -= rate * state.rhow(i, j, k);
+    parallel_for(ny, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 1; k < nz; ++k) {
+                const double z = grid.zeta_face(k);  // sponge keyed on zeta
+                if (z <= cfg.z_start) continue;
+                const double s = (z - cfg.z_start) / (ztop - cfg.z_start);
+                const double sn = std::sin(0.5 * M_PI * s);
+                const T rate = T(sn * sn / cfg.time_scale);
+                for (Index i = 0; i < nx; ++i) {
+                    tend_rhow(i, j, k) -= rate * state.rhow(i, j, k);
+                }
             }
         }
-    }
+    });
 }
 
 }  // namespace asuca

@@ -19,6 +19,7 @@
 
 #include "src/core/state.hpp"
 #include "src/grid/grid.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace asuca {
 
@@ -75,40 +76,48 @@ class LateralRelaxation {
                                const Array3<T>& fb) {
             const Index h = f.halo();
             const Index wz = cfg_.zone_width;
-            for (Index j = 0; j < f.ny(); ++j) {
-                for (Index k = 0; k < f.nz(); ++k) {
-                    for (Index i = 0; i < f.nx(); ++i) {
-                        // Distance to the nearest lateral edge in this
-                        // field's own (possibly staggered) index space.
-                        const Index d = std::min(
-                            std::min(i, f.nx() - 1 - i),
-                            std::min(j, f.ny() - 1 - j));
-                        if (d >= wz) continue;
-                        const double s = static_cast<double>(wz - d) /
-                                         static_cast<double>(wz);
-                        const double w = s * s;
-                        const double target = blend(fa, fb, i, j, k);
-                        const double rate =
-                            std::min(1.0, w * dt / cfg_.time_scale);
-                        f(i, j, k) = static_cast<T>(
-                            static_cast<double>(f(i, j, k)) +
-                            rate * (target - static_cast<double>(f(i, j, k))));
+            parallel_for(f.ny(), [&](Index jb, Index je) {
+                for (Index j = jb; j < je; ++j) {
+                    for (Index k = 0; k < f.nz(); ++k) {
+                        for (Index i = 0; i < f.nx(); ++i) {
+                            // Distance to the nearest lateral edge in this
+                            // field's own (possibly staggered) index space.
+                            const Index d = std::min(
+                                std::min(i, f.nx() - 1 - i),
+                                std::min(j, f.ny() - 1 - j));
+                            if (d >= wz) continue;
+                            const double s = static_cast<double>(wz - d) /
+                                             static_cast<double>(wz);
+                            const double w = s * s;
+                            const double target = blend(fa, fb, i, j, k);
+                            const double rate =
+                                std::min(1.0, w * dt / cfg_.time_scale);
+                            f(i, j, k) = static_cast<T>(
+                                static_cast<double>(f(i, j, k)) +
+                                rate * (target -
+                                        static_cast<double>(f(i, j, k))));
+                        }
                     }
                 }
-            }
+            });
             // Specified halos straight from the target.
-            for (Index j = -h; j < f.ny() + h; ++j) {
-                for (Index k = 0; k < f.nz(); ++k) {
-                    for (Index i = -h; i < f.nx() + h; ++i) {
-                        const bool halo = (i < 0 || i >= f.nx() || j < 0 ||
-                                           j >= f.ny());
-                        if (!halo) continue;
-                        const Index ic = std::clamp<Index>(i, 0, f.nx() - 1);
-                        const Index jc = std::clamp<Index>(j, 0, f.ny() - 1);
-                        f(i, j, k) = static_cast<T>(blend(fa, fb, ic, jc, k));
+            parallel_for_range(-h, f.ny() + h, [&](Index jb, Index je) {
+                for (Index j = jb; j < je; ++j) {
+                    for (Index k = 0; k < f.nz(); ++k) {
+                        for (Index i = -h; i < f.nx() + h; ++i) {
+                            const bool halo = (i < 0 || i >= f.nx() ||
+                                               j < 0 || j >= f.ny());
+                            if (!halo) continue;
+                            const Index ic =
+                                std::clamp<Index>(i, 0, f.nx() - 1);
+                            const Index jc =
+                                std::clamp<Index>(j, 0, f.ny() - 1);
+                            f(i, j, k) =
+                                static_cast<T>(blend(fa, fb, ic, jc, k));
+                        }
                     }
                 }
-            }
+            });
         };
 
         relax_field(state.rho, a->rho, b->rho);

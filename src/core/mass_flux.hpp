@@ -17,6 +17,7 @@
 #include "src/core/state.hpp"
 #include "src/field/array3.hpp"
 #include "src/grid/grid.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace asuca {
 
@@ -45,20 +46,24 @@ void compute_horizontal_mass_fluxes(const Grid<T>& grid,
     const auto& jxf = grid.jacobian_xface();
     const auto& jyf = grid.jacobian_yface();
 
-    for (Index j = -e; j < ny + e; ++j) {
-        for (Index k = 0; k < nz; ++k) {
-            for (Index i = -e; i < nx + 1 + e; ++i) {
-                out.fu(i, j, k) = jxf(i, j, k) * state.rhou(i, j, k);
+    parallel_for_range(-e, ny + e, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                for (Index i = -e; i < nx + 1 + e; ++i) {
+                    out.fu(i, j, k) = jxf(i, j, k) * state.rhou(i, j, k);
+                }
             }
         }
-    }
-    for (Index j = -e; j < ny + 1 + e; ++j) {
-        for (Index k = 0; k < nz; ++k) {
-            for (Index i = -e; i < nx + e; ++i) {
-                out.fv(i, j, k) = jyf(i, j, k) * state.rhov(i, j, k);
+    });
+    parallel_for_range(-e, ny + 1 + e, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                for (Index i = -e; i < nx + e; ++i) {
+                    out.fv(i, j, k) = jyf(i, j, k) * state.rhov(i, j, k);
+                }
             }
         }
-    }
+    });
 }
 
 /// Contravariant vertical mass flux through z-faces (terrain metric terms).
@@ -70,27 +75,33 @@ void compute_contravariant_flux(const Grid<T>& grid, const State<T>& state,
     const auto& zx = grid.slope_x_zface();
     const auto& zy = grid.slope_y_zface();
 
-    for (Index j = -e; j < ny + e; ++j) {
-        for (Index k = 0; k <= nz; ++k) {
-            const bool boundary_face = (k == 0 || k == nz);
-            for (Index i = -e; i < nx + e; ++i) {
-                if (boundary_face) {
-                    out.fz(i, j, k) = T(0);
-                    continue;
+    parallel_for_range(-e, ny + e, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 0; k <= nz; ++k) {
+                const bool boundary_face = (k == 0 || k == nz);
+                for (Index i = -e; i < nx + e; ++i) {
+                    if (boundary_face) {
+                        out.fz(i, j, k) = T(0);
+                        continue;
+                    }
+                    // Momentum interpolated to the z-face (average over the
+                    // 2 x-faces x 2 levels around it).
+                    const T ru =
+                        T(0.25) * (state.rhou(i, j, k - 1) +
+                                   state.rhou(i + 1, j, k - 1) +
+                                   state.rhou(i, j, k) +
+                                   state.rhou(i + 1, j, k));
+                    const T rv =
+                        T(0.25) * (state.rhov(i, j, k - 1) +
+                                   state.rhov(i, j + 1, k - 1) +
+                                   state.rhov(i, j, k) +
+                                   state.rhov(i, j + 1, k));
+                    out.fz(i, j, k) = state.rhow(i, j, k) -
+                                      ru * zx(i, j, k) - rv * zy(i, j, k);
                 }
-                // Momentum interpolated to the z-face (average over the
-                // 2 x-faces x 2 levels around it).
-                const T ru = T(0.25) *
-                             (state.rhou(i, j, k - 1) + state.rhou(i + 1, j, k - 1) +
-                              state.rhou(i, j, k) + state.rhou(i + 1, j, k));
-                const T rv = T(0.25) *
-                             (state.rhov(i, j, k - 1) + state.rhov(i, j + 1, k - 1) +
-                              state.rhov(i, j, k) + state.rhov(i, j + 1, k));
-                out.fz(i, j, k) = state.rhow(i, j, k) - ru * zx(i, j, k) -
-                                  rv * zy(i, j, k);
             }
         }
-    }
+    });
 }
 
 /// Convenience: both flux families.

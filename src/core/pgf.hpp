@@ -17,6 +17,7 @@
 #include "src/core/state.hpp"
 #include "src/field/array3.hpp"
 #include "src/grid/grid.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace asuca {
 
@@ -29,29 +30,30 @@ void pgf_x(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhou) {
     const auto& jxf = grid.jacobian_xface();
     const auto& hs = grid.hsurf();
 
-    for (Index j = 0; j < ny; ++j) {
-        for (Index k = 0; k < nz; ++k) {
-            // zeta derivative spacing (centered; one-sided at the ends).
-            const Index km = (k > 0) ? k - 1 : k;
-            const Index kp = (k < nz - 1) ? k + 1 : k;
-            const T rdzeta =
-                T(1.0 / (grid.zeta_center(kp) - grid.zeta_center(km)));
-            const T decay = T(grid.decay(grid.zeta_center(k)));
-            for (Index i = 0; i < nx; ++i) {
-                const T dpdx = (p(i, j, k) - p(i - 1, j, k)) * rdx;
-                // Terrain slope at the x-face, at this level.
-                const T zx =
-                    (hs(i, j) - hs(i - 1, j)) * rdx * decay;
-                const T dpdzeta =
-                    T(0.5) *
-                    ((p(i - 1, j, kp) - p(i - 1, j, km)) +
-                     (p(i, j, kp) - p(i, j, km))) *
-                    rdzeta;
-                tend_rhou(i, j, k) -=
-                    dpdx - zx / jxf(i, j, k) * dpdzeta;
+    parallel_for(ny, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                // zeta derivative spacing (centered; one-sided at the ends).
+                const Index km = (k > 0) ? k - 1 : k;
+                const Index kp = (k < nz - 1) ? k + 1 : k;
+                const T rdzeta =
+                    T(1.0 / (grid.zeta_center(kp) - grid.zeta_center(km)));
+                const T decay = T(grid.decay(grid.zeta_center(k)));
+                for (Index i = 0; i < nx; ++i) {
+                    const T dpdx = (p(i, j, k) - p(i - 1, j, k)) * rdx;
+                    // Terrain slope at the x-face, at this level.
+                    const T zx = (hs(i, j) - hs(i - 1, j)) * rdx * decay;
+                    const T dpdzeta =
+                        T(0.5) *
+                        ((p(i - 1, j, kp) - p(i - 1, j, km)) +
+                         (p(i, j, kp) - p(i, j, km))) *
+                        rdzeta;
+                    tend_rhou(i, j, k) -=
+                        dpdx - zx / jxf(i, j, k) * dpdzeta;
+                }
             }
         }
-    }
+    });
 }
 
 /// Accumulate -dp/dy|_z onto the rho*v tendency at interior y-faces.
@@ -62,25 +64,27 @@ void pgf_y(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhov) {
     const auto& jyf = grid.jacobian_yface();
     const auto& hs = grid.hsurf();
 
-    for (Index j = 0; j < ny; ++j) {
-        for (Index k = 0; k < nz; ++k) {
-            const Index km = (k > 0) ? k - 1 : k;
-            const Index kp = (k < nz - 1) ? k + 1 : k;
-            const T rdzeta =
-                T(1.0 / (grid.zeta_center(kp) - grid.zeta_center(km)));
-            const T decay = T(grid.decay(grid.zeta_center(k)));
-            for (Index i = 0; i < nx; ++i) {
-                const T dpdy = (p(i, j, k) - p(i, j - 1, k)) * rdy;
-                const T zy = (hs(i, j) - hs(i, j - 1)) * rdy * decay;
-                const T dpdzeta =
-                    T(0.5) *
-                    ((p(i, j - 1, kp) - p(i, j - 1, km)) +
-                     (p(i, j, kp) - p(i, j, km))) *
-                    rdzeta;
-                tend_rhov(i, j, k) -= dpdy - zy / jyf(i, j, k) * dpdzeta;
+    parallel_for(ny, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 0; k < nz; ++k) {
+                const Index km = (k > 0) ? k - 1 : k;
+                const Index kp = (k < nz - 1) ? k + 1 : k;
+                const T rdzeta =
+                    T(1.0 / (grid.zeta_center(kp) - grid.zeta_center(km)));
+                const T decay = T(grid.decay(grid.zeta_center(k)));
+                for (Index i = 0; i < nx; ++i) {
+                    const T dpdy = (p(i, j, k) - p(i, j - 1, k)) * rdy;
+                    const T zy = (hs(i, j) - hs(i, j - 1)) * rdy * decay;
+                    const T dpdzeta =
+                        T(0.5) *
+                        ((p(i, j - 1, kp) - p(i, j - 1, km)) +
+                         (p(i, j, kp) - p(i, j, km))) *
+                        rdzeta;
+                    tend_rhov(i, j, k) -= dpdy - zy / jyf(i, j, k) * dpdzeta;
+                }
             }
         }
-    }
+    });
 }
 
 /// Accumulate the vertical pressure gradient -(1/J) dp/dzeta and buoyancy
@@ -94,19 +98,21 @@ void pgf_z_buoyancy(const Grid<T>& grid, const Array3<T>& p,
     const auto& jzf = grid.jacobian_zface();
     const T g = T(constants::g);
 
-    for (Index j = 0; j < ny; ++j) {
-        for (Index k = 1; k < nz; ++k) {
-            const T rdzeta =
-                T(1.0 / (grid.zeta_center(k) - grid.zeta_center(k - 1)));
-            for (Index i = 0; i < nx; ++i) {
-                const T grad =
-                    (p(i, j, k) - p(i, j, k - 1)) * rdzeta / jzf(i, j, k);
-                const T buoy =
-                    g * T(0.5) * (rho_pert(i, j, k - 1) + rho_pert(i, j, k));
-                tend_rhow(i, j, k) -= grad + buoy;
+    parallel_for(ny, [&](Index jb, Index je) {
+        for (Index j = jb; j < je; ++j) {
+            for (Index k = 1; k < nz; ++k) {
+                const T rdzeta =
+                    T(1.0 / (grid.zeta_center(k) - grid.zeta_center(k - 1)));
+                for (Index i = 0; i < nx; ++i) {
+                    const T grad = (p(i, j, k) - p(i, j, k - 1)) * rdzeta /
+                                   jzf(i, j, k);
+                    const T buoy = g * T(0.5) * (rho_pert(i, j, k - 1) +
+                                                 rho_pert(i, j, k));
+                    tend_rhow(i, j, k) -= grad + buoy;
+                }
             }
         }
-    }
+    });
 }
 
 }  // namespace asuca

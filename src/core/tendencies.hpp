@@ -29,12 +29,12 @@ struct Tendencies {
     }
 
     void clear() {
-        rho.fill(T(0));
-        rhou.fill(T(0));
-        rhov.fill(T(0));
-        rhow.fill(T(0));
-        rhotheta.fill(T(0));
-        for (auto& t : tracers) t.fill(T(0));
+        fill_parallel(rho, T(0));
+        fill_parallel(rhou, T(0));
+        fill_parallel(rhov, T(0));
+        fill_parallel(rhow, T(0));
+        fill_parallel(rhotheta, T(0));
+        for (auto& t : tracers) fill_parallel(t, T(0));
     }
 
     Array3<T> rho, rhou, rhov, rhow, rhotheta;

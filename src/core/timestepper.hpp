@@ -29,6 +29,7 @@
 #include "src/core/tendencies.hpp"
 #include "src/grid/grid.hpp"
 #include "src/instrument/kernel_registry.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace asuca {
 
@@ -61,9 +62,15 @@ class TimeStepper {
     const TimeStepperConfig& config() const { return cfg_; }
 
     /// Advance `state` by one long step dt.
+    ///
+    /// `state` itself serves as the step-start state: it is only read
+    /// until the final RK stage writes the result back into it, so the
+    /// per-stage deep copies (`s0_ = state`, `work_ = *bar`) are elided.
+    /// The workspace is synced once (reference fields, halo content the
+    /// copies used to carry) and its reference fields refreshed per step.
     void step(State<T>& state) {
         apply_state_bcs(state);
-        s0_ = state;
+        sync_stage_workspace(state);
 
         static constexpr double kStageFraction[3] = {1.0 / 3.0, 0.5, 1.0};
         const State<T>* bar = &state;
@@ -71,7 +78,7 @@ class TimeStepper {
             const double dt_s = cfg_.dt * kStageFraction[stage];
             compute_slow_tendencies(*bar, slow_);
             acoustic_.prepare(*bar);
-            acoustic_.init_deviations(s0_, *bar);
+            acoustic_.init_deviations(state, *bar);
             const int ns = std::max(
                 1, static_cast<int>(std::lround(cfg_.n_short_steps *
                                                 kStageFraction[stage])));
@@ -79,15 +86,16 @@ class TimeStepper {
             for (int n = 0; n < ns; ++n) {
                 acoustic_.substep(slow_, dtau, cfg_.bc);
             }
-            // Reuse the reference fields / species layout of the stage
-            // state, then overwrite the dynamic fields.
-            work_ = *bar;
-            acoustic_.finalize(*bar, work_);
-            update_tracers(dt_s);
-            apply_state_bcs(work_);
-            bar = &work_;
+            // Intermediate stages land in the workspace; the final stage
+            // writes straight into `state`. finalize and the tracer
+            // update are pointwise, so out == bar (stage 1) and
+            // out == state (stage 2) are in-place safe.
+            State<T>& out = (stage == 2) ? state : work_;
+            acoustic_.finalize(*bar, out);
+            update_tracers_into(state, dt_s, out);
+            apply_state_bcs(out);
+            bar = &out;
         }
-        state = work_;
     }
 
     /// Assemble the slow-mode tendencies at the given (BC-consistent)
@@ -159,13 +167,16 @@ class TimeStepper {
             KernelScope scope("perturbation_fields",
                               {/*reads=*/4, /*writes=*/2, 0}, vol);
             const Index h = grid_.halo();
-            for (Index j = -h; j < ny + h; ++j)
-                for (Index k = -h; k < nz + h; ++k)
-                    for (Index i = -h; i < nx + h; ++i) {
-                        p_pert_(i, j, k) = bar.p(i, j, k) - bar.p_ref(i, j, k);
-                        rho_pert_(i, j, k) =
-                            bar.rho(i, j, k) - bar.rho_ref(i, j, k);
-                    }
+            parallel_for_range(-h, ny + h, [&](Index jb, Index je) {
+                for (Index j = jb; j < je; ++j)
+                    for (Index k = -h; k < nz + h; ++k)
+                        for (Index i = -h; i < nx + h; ++i) {
+                            p_pert_(i, j, k) =
+                                bar.p(i, j, k) - bar.p_ref(i, j, k);
+                            rho_pert_(i, j, k) =
+                                bar.rho(i, j, k) - bar.rho_ref(i, j, k);
+                        }
+            });
         }
         {
             KernelScope scope("pgf_x_slow", {/*reads=*/3, /*writes=*/1, 16},
@@ -194,7 +205,9 @@ class TimeStepper {
     State<T>& stage_workspace() { return work_; }
     /// Advance the tracers of the stage workspace from the step-start
     /// state by dt_s using the current slow tendencies.
-    void update_stage_tracers(double dt_s) { update_tracers(dt_s); }
+    void update_stage_tracers(double dt_s) {
+        update_tracers_into(s0_, dt_s, work_);
+    }
 
     /// Fill lateral halos of all prognostic fields and the pressure.
     void apply_state_bcs(State<T>& s) const {
@@ -235,20 +248,41 @@ class TimeStepper {
         }
     }
 
-    void update_tracers(double dt_s) {
+    /// q = q0 + dt_s * dq per active tracer (same-element safe, so
+    /// out == s0 works for the in-place final RK stage).
+    void update_tracers_into(const State<T>& s0, double dt_s, State<T>& out) {
         const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
-        for (std::size_t n = 0; n < work_.tracers.size(); ++n) {
-            auto& q = work_.tracers[n];
-            const auto& q0 = s0_.tracers[n];
+        for (std::size_t n = 0; n < out.tracers.size(); ++n) {
+            auto& q = out.tracers[n];
+            const auto& q0 = s0.tracers[n];
             const auto& dq = slow_.tracers[n];
-            for (Index j = 0; j < ny; ++j)
-                for (Index k = 0; k < nz; ++k)
-                    for (Index i = 0; i < nx; ++i) {
-                        T v = q0(i, j, k) + T(dt_s) * dq(i, j, k);
-                        if (cfg_.clip_negative_tracers && v < T(0)) v = T(0);
-                        q(i, j, k) = v;
-                    }
+            parallel_for(ny, [&](Index jb, Index je) {
+                for (Index j = jb; j < je; ++j)
+                    for (Index k = 0; k < nz; ++k)
+                        for (Index i = 0; i < nx; ++i) {
+                            T v = q0(i, j, k) + T(dt_s) * dq(i, j, k);
+                            if (cfg_.clip_negative_tracers && v < T(0))
+                                v = T(0);
+                            q(i, j, k) = v;
+                        }
+            });
         }
+    }
+
+    /// First call: full copy so the workspace carries everything the
+    /// elided per-stage assignments used to (reference fields, z-halo
+    /// content of p and the tracers). Later calls only refresh the
+    /// reference fields, in case the caller rebalanced them.
+    void sync_stage_workspace(const State<T>& state) {
+        if (!work_synced_) {
+            work_ = state;
+            work_synced_ = true;
+            return;
+        }
+        work_.rho_ref = state.rho_ref;
+        work_.p_ref = state.p_ref;
+        work_.rhotheta_ref = state.rhotheta_ref;
+        work_.cs2 = state.cs2;
     }
 
     const Grid<T>& grid_;
@@ -258,6 +292,7 @@ class TimeStepper {
     MassFluxes<T> fluxes_;
     State<T> s0_;
     State<T> work_;
+    bool work_synced_ = false;
     Array3<T> p_pert_, rho_pert_;
 };
 

@@ -12,6 +12,7 @@
 #include "src/common/error.hpp"
 #include "src/common/types.hpp"
 #include "src/field/layout.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace asuca {
 
@@ -104,6 +105,17 @@ class Array3 {
     Strides strides_{};
     std::vector<T> data_;
 };
+
+/// Parallel fill over the flat storage (interior + halos). Used by the hot
+/// per-step workspace clears; value-identical to Array3::fill for any
+/// thread count.
+template <class T>
+void fill_parallel(Array3<T>& a, T value) {
+    T* p = a.data();
+    parallel_for(static_cast<Index>(a.size()), [&](Index b, Index e) {
+        std::fill(p + b, p + e, value);
+    });
+}
 
 /// Maximum absolute difference over the interiors of two same-shaped arrays
 /// (layouts may differ). The workhorse of the round-off agreement tests.

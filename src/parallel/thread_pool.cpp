@@ -1,12 +1,40 @@
 #include "src/parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 
 #include "src/common/error.hpp"
 
 namespace asuca {
 
+namespace {
+
+/// Set while the current thread runs a parallel_for body; nested calls
+/// check it and fall back to inline execution.
+thread_local bool t_in_region = false;
+
+/// Thread count requested via ASUCA_NUM_THREADS (0 = unset/invalid).
+std::size_t env_thread_count() {
+    const char* env = std::getenv("ASUCA_NUM_THREADS");
+    if (env == nullptr || *env == '\0') return 0;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1) return 0;
+    return static_cast<std::size_t>(v);
+}
+
+std::unique_ptr<ThreadPool>& global_holder() {
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) {
+        num_threads = env_thread_count();
+    }
     if (num_threads == 0) {
         num_threads = std::max(1u, std::thread::hardware_concurrency());
     }
@@ -25,77 +53,97 @@ ThreadPool::~ThreadPool() {
     for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::in_parallel_region() { return t_in_region; }
+
 ThreadPool& ThreadPool::global() {
-    static ThreadPool pool;
-    return pool;
+    auto& holder = global_holder();
+    if (!holder) holder = std::make_unique<ThreadPool>();
+    return *holder;
+}
+
+void ThreadPool::set_global_threads(std::size_t num_threads) {
+    ASUCA_ASSERT(!in_parallel_region(),
+                 "cannot replace the global pool from inside parallel_for");
+    global_holder() = std::make_unique<ThreadPool>(num_threads);
 }
 
 void ThreadPool::worker_loop() {
+    std::uint64_t seen_epoch = 0;
     for (;;) {
-        Task task;
-        const std::function<void(Index, Index)>* body = nullptr;
+        Region* r = nullptr;
         {
             std::unique_lock lock(mutex_);
-            cv_work_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-            if (stopping_ && tasks_.empty()) return;
-            task = tasks_.front();
-            tasks_.pop();
-            body = body_;
-            ++in_flight_;
+            cv_work_.wait(lock, [&] {
+                return stopping_ ||
+                       (epoch_ != seen_epoch && region_ != nullptr);
+            });
+            if (stopping_) return;
+            seen_epoch = epoch_;
+            r = region_;
+            ++attached_;
         }
-        try {
-            (*body)(task.begin, task.end);
-        } catch (...) {
-            std::lock_guard lock(mutex_);
-            if (!first_error_) first_error_ = std::current_exception();
-        }
+        work_on(*r);
         {
             std::lock_guard lock(mutex_);
-            --in_flight_;
+            --attached_;
         }
+        // run_region may be waiting for the last detach.
         cv_done_.notify_all();
     }
 }
 
-void ThreadPool::parallel_for(Index n,
-                              const std::function<void(Index, Index)>& body) {
-    if (n <= 0) return;
-    const auto threads = static_cast<Index>(num_threads());
-    if (threads == 1 || n == 1) {
-        body(0, n);
-        return;
+void ThreadPool::work_on(Region& r) {
+    t_in_region = true;
+    for (;;) {
+        const Index c = r.next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= r.n_chunks) break;
+        const Index begin = c * r.chunk;
+        const Index end = std::min(begin + r.chunk, r.n);
+        try {
+            r.fn(r.ctx, begin, end);
+        } catch (...) {
+            std::lock_guard lock(mutex_);
+            if (!r.error) r.error = std::current_exception();
+        }
+        if (r.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            r.n_chunks) {
+            // Last chunk: the caller may already be asleep in run_region.
+            std::lock_guard lock(mutex_);
+            cv_done_.notify_all();
+        }
     }
+    t_in_region = false;
+}
+
+void ThreadPool::run_region(Index n, BodyFn fn, void* ctx) {
+    Region r;
+    r.fn = fn;
+    r.ctx = ctx;
+    r.n = n;
     // Over-decompose mildly (2 chunks per thread) for load balance; loop
     // bodies in the dycore have uniform cost so this is sufficient.
-    const Index chunks = std::min(n, threads * 2);
-    const Index chunk = (n + chunks - 1) / chunks;
+    const Index want = std::min<Index>(
+        n, static_cast<Index>(num_threads()) * 2);
+    r.chunk = (n + want - 1) / want;
+    r.n_chunks = (n + r.chunk - 1) / r.chunk;
     {
         std::lock_guard lock(mutex_);
-        ASUCA_ASSERT(tasks_.empty() && in_flight_ == 0,
-                     "nested parallel_for on the same pool is not supported");
-        body_ = &body;
-        first_error_ = nullptr;
-        for (Index b = chunk; b < n; b += chunk) {
-            tasks_.push(Task{b, std::min(b + chunk, n)});
-        }
+        region_ = &r;
+        ++epoch_;
     }
     cv_work_.notify_all();
-    // The caller runs the first chunk itself.
-    try {
-        body(0, std::min(chunk, n));
-    } catch (...) {
-        std::lock_guard lock(mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
-    }
+    // The caller claims chunks like any worker.
+    work_on(r);
     {
         std::unique_lock lock(mutex_);
-        cv_done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
-        body_ = nullptr;
-        if (first_error_) {
-            auto err = first_error_;
-            first_error_ = nullptr;
-            std::rethrow_exception(err);
-        }
+        cv_done_.wait(lock, [&] {
+            return r.done.load(std::memory_order_acquire) >= r.n_chunks &&
+                   attached_ == 0;
+        });
+        // Unpublish before the region leaves scope so a late-waking worker
+        // never touches the dead stack frame.
+        region_ = nullptr;
+        if (r.error) std::rethrow_exception(r.error);
     }
 }
 

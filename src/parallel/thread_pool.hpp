@@ -1,21 +1,36 @@
-// A small work-sharing thread pool: the shared-memory parallel substrate the
-// CPU reference implementation runs on (the role OpenMP plays in the
-// original Fortran ASUCA).
+// A low-overhead work-sharing thread pool: the shared-memory parallel
+// substrate the CPU reference implementation runs on (the role OpenMP
+// plays in the original Fortran ASUCA).
 //
-// Design: fixed worker count decided at construction, a single mutex-guarded
-// task queue (loop bodies are coarse-grained chunks, so queue contention is
-// negligible), and a `parallel_for` front-end that blocks the caller until
-// every chunk completes. Exceptions thrown by loop bodies are captured and
-// rethrown on the calling thread.
+// Design goals, in order:
+//   * zero allocation on the `parallel_for` hot path — the loop body is
+//     passed through a type-erased trampoline (a function pointer plus the
+//     caller's stack address), never wrapped in a std::function;
+//   * atomic chunk-claiming — workers grab chunks with one fetch_add each
+//     instead of popping a mutex-guarded queue, so the per-chunk cost is a
+//     single RMW;
+//   * graceful degradation — trip counts too small to amortize the worker
+//     wake-up, single-threaded pools, and *nested* parallel_for calls all
+//     run the body inline on the calling thread (nesting arises naturally
+//     when a parallelized kernel calls another parallelized helper);
+//   * deterministic decomposition — chunk boundaries depend only on the
+//     trip count and the pool width, never on timing, and no parallelized
+//     loop in the model reduces across chunks, so results are bit-identical
+//     for any thread count.
+//
+// The blocking structure (mutex + condition variables) is only touched at
+// region boundaries: once to publish a region and wake the workers, and
+// once per worker to attach/detach. Exceptions thrown by loop bodies are
+// captured and rethrown on the calling thread.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "src/common/types.hpp"
@@ -33,43 +48,97 @@ class ThreadPool {
 
     std::size_t num_threads() const { return workers_.size() + 1; }
 
+    /// Trip counts below this run inline: a slab count this small cannot
+    /// amortize the worker wake-up (~ a few microseconds).
+    static constexpr Index kMinParallelN = 4;
+
     /// Run `body(begin, end)` over chunked subranges of [0, n) in parallel
-    /// and wait for completion. The calling thread participates.
-    void parallel_for(Index n, const std::function<void(Index, Index)>& body);
+    /// and wait for completion. The calling thread participates. Small
+    /// `n`, single-threaded pools, and nested calls execute inline.
+    template <class Body>
+    void parallel_for(Index n, Body&& body) {
+        if (n <= 0) return;
+        if (workers_.empty() || n < kMinParallelN || in_parallel_region()) {
+            body(Index(0), n);
+            return;
+        }
+        using B = std::remove_reference_t<Body>;
+        run_region(
+            n,
+            [](void* ctx, Index b, Index e) { (*static_cast<B*>(ctx))(b, e); },
+            const_cast<void*>(static_cast<const void*>(&body)));
+    }
 
     /// Convenience: per-index body.
-    void parallel_for_each(Index n, const std::function<void(Index)>& body) {
+    template <class Body>
+    void parallel_for_each(Index n, Body&& body) {
         parallel_for(n, [&](Index b, Index e) {
             for (Index i = b; i < e; ++i) body(i);
         });
     }
 
-    /// Process-wide pool, sized from the hardware. Constructed on first use.
+    /// True while the calling thread is executing a parallel_for body (of
+    /// any pool); nested parallel_for calls then degrade to inline serial
+    /// execution instead of deadlocking or erroring.
+    static bool in_parallel_region();
+
+    /// Process-wide pool. Sized from the `ASUCA_NUM_THREADS` environment
+    /// variable when set (tests/benches pin the thread count without code
+    /// changes), otherwise from the hardware. Constructed on first use.
     static ThreadPool& global();
 
+    /// Replace the global pool with one of `num_threads` threads (0 = the
+    /// ASUCA_NUM_THREADS / hardware default). For thread-scaling benches
+    /// and determinism tests; callers must ensure no parallel_for is in
+    /// flight on the old pool.
+    static void set_global_threads(std::size_t num_threads);
+
   private:
-    struct Task {
-        Index begin = 0;
-        Index end = 0;
+    using BodyFn = void (*)(void* ctx, Index begin, Index end);
+
+    /// One parallel_for invocation. Lives on the caller's stack; workers
+    /// only touch it between attach (under the pool mutex, while it is the
+    /// published region) and detach, and `run_region` does not return
+    /// until every attached worker has detached.
+    struct Region {
+        BodyFn fn = nullptr;
+        void* ctx = nullptr;
+        Index n = 0;
+        Index chunk = 0;
+        Index n_chunks = 0;
+        std::atomic<Index> next{0};  ///< next unclaimed chunk id
+        std::atomic<Index> done{0};  ///< completed chunks
+        std::exception_ptr error;    ///< first failure; pool mutex guards
     };
 
+    void run_region(Index n, BodyFn fn, void* ctx);
+    void work_on(Region& r);
     void worker_loop();
-    void run_tasks(const std::function<void(Index, Index)>& body);
 
     std::vector<std::thread> workers_;
     std::mutex mutex_;
     std::condition_variable cv_work_;
     std::condition_variable cv_done_;
-    std::queue<Task> tasks_;
-    const std::function<void(Index, Index)>* body_ = nullptr;
-    std::size_t in_flight_ = 0;
-    std::exception_ptr first_error_;
+    Region* region_ = nullptr;   ///< currently published region (or null)
+    std::uint64_t epoch_ = 0;    ///< bumped per region; workers wake on change
+    std::size_t attached_ = 0;   ///< workers currently inside the region
     bool stopping_ = false;
 };
 
 /// Shorthand for the global pool's parallel_for.
-inline void parallel_for(Index n, const std::function<void(Index, Index)>& body) {
-    ThreadPool::global().parallel_for(n, body);
+template <class Body>
+inline void parallel_for(Index n, Body&& body) {
+    ThreadPool::global().parallel_for(n, static_cast<Body&&>(body));
+}
+
+/// parallel_for over an arbitrary index window [begin, end) — the j-slab
+/// loops that cover halo rings use this.
+template <class Body>
+inline void parallel_for_range(Index begin, Index end, Body&& body) {
+    if (end <= begin) return;
+    ThreadPool::global().parallel_for(end - begin, [&](Index b, Index e) {
+        body(begin + b, begin + e);
+    });
 }
 
 }  // namespace asuca

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "src/common/constants.hpp"
 #include "src/core/eos.hpp"
@@ -181,9 +182,12 @@ class Kessler {
         const auto& dz = grid_.dz_center();
         const double rho0 = 1.225;  // surface reference density [kg m^-3]
 
+        // Columns are independent; j-slabs fall in parallel with per-slab
+        // column workspaces (the paper's xz-plane thread layout).
+        parallel_for(ny, [&](Index jb, Index je) {
         std::vector<double> vt(static_cast<std::size_t>(nz));
         std::vector<double> rqr(static_cast<std::size_t>(nz));
-        for (Index j = 0; j < ny; ++j) {
+        for (Index j = jb; j < je; ++j) {
             for (Index i = 0; i < nx; ++i) {
                 // Column copy + terminal velocity; CFL-based sub-stepping.
                 double vt_max = 0.0, dz_min = 1e30;
@@ -243,6 +247,7 @@ class Kessler {
                 precip_rate_(i, j) = surface_kg_m2 / dt * 3600.0;
             }
         }
+        });
     }
 
     const Grid<T>& grid_;

@@ -25,6 +25,7 @@
 #include "src/field/array2.hpp"
 #include "src/grid/grid.hpp"
 #include "src/instrument/kernel_registry.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace asuca {
 
@@ -106,9 +107,13 @@ class Sedimentation {
         auto& precip = precip_mm_[static_cast<std::size_t>(sp)];
         const auto& dz = grid_.dz_center();
 
+        // Columns are independent; j-slabs fall in parallel with per-slab
+        // column workspaces (the xz-plane thread layout of the paper's
+        // z-marching kernels).
+        parallel_for(ny, [&](Index jb, Index je) {
         std::vector<double> vt(static_cast<std::size_t>(nz));
         std::vector<double> rq(static_cast<std::size_t>(nz));
-        for (Index j = 0; j < ny; ++j) {
+        for (Index j = jb; j < je; ++j) {
             for (Index i = 0; i < nx; ++i) {
                 double vt_max = 0.0, dz_min = 1e30;
                 for (Index k = 0; k < nz; ++k) {
@@ -154,6 +159,7 @@ class Sedimentation {
                 precip(i, j) += surface;
             }
         }
+        });
     }
 
     const Grid<T>& grid_;

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/parallel/thread_pool.hpp"
@@ -79,6 +81,79 @@ TEST(ThreadPool, GlobalPoolIsReusable) {
         });
     }
     EXPECT_EQ(total.load(), 5000);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineSerially) {
+    ThreadPool pool(4);
+    std::atomic<long long> total{0};
+    std::atomic<int> outer_bodies{0};
+    pool.parallel_for(64, [&](Index ob, Index oe) {
+        ++outer_bodies;
+        EXPECT_TRUE(ThreadPool::in_parallel_region());
+        // Nested call: must execute the whole range inline on this
+        // thread, in one body invocation, without deadlocking.
+        const auto me = std::this_thread::get_id();
+        int inner_bodies = 0;
+        pool.parallel_for(1000, [&](Index b, Index e) {
+            ++inner_bodies;
+            EXPECT_EQ(std::this_thread::get_id(), me);
+            long long local = 0;
+            for (Index i = b; i < e; ++i) local += 1;
+            total += local * (oe - ob);
+        });
+        EXPECT_EQ(inner_bodies, 1);
+    });
+    EXPECT_GE(outer_bodies.load(), 1);
+    EXPECT_EQ(total.load(), 64LL * 1000LL);
+    EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, HonorsNumThreadsEnvVar) {
+    ::setenv("ASUCA_NUM_THREADS", "3", 1);
+    {
+        ThreadPool pool(0);
+        EXPECT_EQ(pool.num_threads(), 3u);
+    }
+    // Malformed values fall back to hardware concurrency (>= 1).
+    ::setenv("ASUCA_NUM_THREADS", "garbage", 1);
+    {
+        ThreadPool pool(0);
+        EXPECT_GE(pool.num_threads(), 1u);
+    }
+    ::unsetenv("ASUCA_NUM_THREADS");
+    // An explicit count always wins over the environment.
+    ::setenv("ASUCA_NUM_THREADS", "7", 1);
+    {
+        ThreadPool pool(2);
+        EXPECT_EQ(pool.num_threads(), 2u);
+    }
+    ::unsetenv("ASUCA_NUM_THREADS");
+}
+
+TEST(ThreadPool, SetGlobalThreadsReplacesThePool) {
+    ThreadPool::set_global_threads(3);
+    EXPECT_EQ(ThreadPool::global().num_threads(), 3u);
+    std::atomic<int> total{0};
+    parallel_for(100, [&](Index b, Index e) {
+        total += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(total.load(), 100);
+    ThreadPool::set_global_threads(0);  // back to the default
+}
+
+TEST(ThreadPool, ParallelForRangeCoversHaloExtendedRange) {
+    ThreadPool::set_global_threads(4);
+    const Index lo = -3, hi = 29;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(hi - lo));
+    parallel_for_range(lo, hi, [&](Index b, Index e) {
+        EXPECT_GE(b, lo);
+        EXPECT_LE(e, hi);
+        for (Index j = b; j < e; ++j) {
+            hits[static_cast<std::size_t>(j - lo)]++;
+        }
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+    ThreadPool::set_global_threads(0);
 }
 
 }  // namespace
