@@ -1,0 +1,90 @@
+// golden_tool: regenerate or check the golden-regression baselines under
+// tests/golden/.
+//
+//   golden_tool --regen [--dir DIR] [name...]   rewrite baselines
+//   golden_tool --check [--dir DIR] [name...]   compare without writing
+//   golden_tool --list                          print known run names
+//
+// With no names, all runs are processed. The default DIR is the source
+// tree's tests/golden (baked in at configure time as ASUCA_GOLDEN_DIR);
+// --dir overrides it, e.g. to stage candidate baselines for review.
+//
+// Regenerate only when a numerics change is intended and reviewed — the
+// diff of the .json files IS the review artifact (see README.md,
+// "Verification subsystem").
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/verify/golden.hpp"
+
+#ifndef ASUCA_GOLDEN_DIR
+#define ASUCA_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s --regen|--check|--list [--dir DIR] [name...]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string dir = ASUCA_GOLDEN_DIR;
+    bool regen = false, check = false;
+    std::vector<std::string> names;
+
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--regen" || arg == "--regen-golden") {
+            regen = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--list") {
+            for (const auto& n : asuca::verify::golden_run_names())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        } else if (arg == "--dir") {
+            if (++a >= argc) return usage(argv[0]);
+            dir = argv[a];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+    if (regen == check) return usage(argv[0]);  // exactly one mode
+    if (names.empty()) names = asuca::verify::golden_run_names();
+
+    int failures = 0;
+    for (const auto& name : names) {
+        try {
+            const auto rec = asuca::verify::run_golden(name);
+            if (regen) {
+                asuca::verify::save_record(dir, rec);
+                std::printf("wrote %s\n",
+                            asuca::verify::golden_path(dir, name).c_str());
+            } else {
+                const auto ref = asuca::verify::load_record(dir, name);
+                const auto cmp = asuca::verify::compare_records(ref, rec);
+                if (cmp.ok()) {
+                    std::printf("OK    %s\n", name.c_str());
+                } else {
+                    std::printf("FAIL  %s\n%s", name.c_str(),
+                                cmp.report().c_str());
+                    ++failures;
+                }
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error in run \"%s\": %s\n", name.c_str(),
+                         e.what());
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}

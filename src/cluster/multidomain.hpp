@@ -17,7 +17,9 @@
 // the paper's "GPU code agrees with the CPU code within round-off".
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/core/timestepper.hpp"
@@ -58,6 +60,15 @@ class MultiDomainRunner {
         return ranks_[size_t(r)]->grid;
     }
 
+    /// Observer invoked after every lockstep step(), when all rank states
+    /// are final and exchanged — the decomposed counterpart of
+    /// TimeStepper::set_step_observer (the conservation ledger attaches
+    /// here, summing rank invariants). One branch per step when unset.
+    using StepObserver = std::function<void(MultiDomainRunner&)>;
+    void set_step_observer(StepObserver observer) {
+        step_observer_ = std::move(observer);
+    }
+
     /// Copy the interiors of a global state into the rank states and
     /// perform the initial exchange.
     void scatter(const State<T>& global_state) {
@@ -69,11 +80,11 @@ class MultiDomainRunner {
             copy_window(global_state.rhow, rk.state.rhow, r, 0, 0);
             copy_window(global_state.rhotheta, rk.state.rhotheta, r, 0, 0);
             copy_window(global_state.p, rk.state.p, r, 0, 0);
-            copy_window(global_state.rho_ref, rk.state.rho_ref, r, 0, 0);
-            copy_window(global_state.p_ref, rk.state.p_ref, r, 0, 0);
-            copy_window(global_state.rhotheta_ref, rk.state.rhotheta_ref, r,
-                        0, 0);
-            copy_window(global_state.cs2, rk.state.cs2, r, 0, 0);
+            copy_window_padded(global_state.rho_ref, rk.state.rho_ref, r);
+            copy_window_padded(global_state.p_ref, rk.state.p_ref, r);
+            copy_window_padded(global_state.rhotheta_ref,
+                               rk.state.rhotheta_ref, r);
+            copy_window_padded(global_state.cs2, rk.state.cs2, r);
             for (std::size_t n = 0; n < rk.state.tracers.size(); ++n) {
                 copy_window(global_state.tracers[n], rk.state.tracers[n], r,
                             0, 0);
@@ -178,6 +189,7 @@ class MultiDomainRunner {
             ranks_[size_t(r)]->state = ranks_[size_t(r)]->stepper
                                            .stage_workspace();
         }
+        if (step_observer_) step_observer_(*this);
     }
 
   private:
@@ -222,6 +234,28 @@ class MultiDomainRunner {
                 for (Index i = 0; i < nxl_ + sx; ++i)
                     local(i, j, k) = global(ox + i, oy + j, k);
     }
+    /// Copy a rank's FULL padded window (interior + halos) of a global
+    /// array. Used for the time-invariant reference fields: they are never
+    /// exchanged (they never change), so their halos must be seeded here —
+    /// and seeded with the global state's own halo values at the outer
+    /// boundaries, where set_reference_state() fills them analytically. A
+    /// periodic exchange would instead wrap interior values there, which
+    /// differs over non-periodic terrain and breaks bitwise agreement of
+    /// halo reads (e.g. the theta-deviation diffusion) with the
+    /// single-domain run. Leaving them unseeded is worse still: rank ref
+    /// halos stay zero and rhotheta_ref/rho_ref = 0/0 injects NaN at every
+    /// subdomain edge.
+    void copy_window_padded(const Array3<T>& global, Array3<T>& local,
+                            Index r) const {
+        const Index rx = r % px_, ry = r / px_;
+        const Index ox = rx * nxl_, oy = ry * nyl_;
+        const Index h = local.halo();
+        for (Index j = -h; j < nyl_ + h; ++j)
+            for (Index k = -h; k < local.nz() + h; ++k)
+                for (Index i = -h; i < nxl_ + h; ++i)
+                    local(i, j, k) = global(ox + i, oy + j, k);
+    }
+
     void copy_window_back(const Array3<T>& local, Array3<T>& global, Index r,
                           Index sx, Index sy) const {
         const Index rx = r % px_, ry = r / px_;
@@ -305,6 +339,7 @@ class MultiDomainRunner {
     TimeStepperConfig cfg_;
     Index nxl_ = 0, nyl_ = 0;
     std::vector<std::unique_ptr<Rank>> ranks_;
+    StepObserver step_observer_;
 };
 
 }  // namespace asuca::cluster

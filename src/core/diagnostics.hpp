@@ -26,6 +26,39 @@ double total_mass(const Grid<T>& grid, const Array3<T>& rho) {
     return sum;
 }
 
+/// Interior summary statistics of a field: the per-field fingerprint the
+/// golden-regression records store (src/verify/golden.hpp). mean and l2
+/// are accumulated in double in a fixed order, so they are bitwise
+/// reproducible across thread counts and domain decompositions.
+struct FieldStats {
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double l2 = 0.0;  ///< sqrt(mean of squares)
+};
+
+template <class T>
+FieldStats field_stats(const Array3<T>& a) {
+    FieldStats st;
+    st.min = 1e300;
+    st.max = -1e300;
+    double sum = 0.0, sum2 = 0.0;
+    for (Index j = 0; j < a.ny(); ++j)
+        for (Index k = 0; k < a.nz(); ++k)
+            for (Index i = 0; i < a.nx(); ++i) {
+                const double v = static_cast<double>(a(i, j, k));
+                st.min = std::min(st.min, v);
+                st.max = std::max(st.max, v);
+                sum += v;
+                sum2 += v * v;
+            }
+    const auto n = static_cast<double>(a.nx()) * static_cast<double>(a.ny()) *
+                   static_cast<double>(a.nz());
+    st.mean = sum / n;
+    st.l2 = std::sqrt(sum2 / n);
+    return st;
+}
+
 /// Maximum absolute value over the interior of any array.
 template <class T>
 double max_abs(const Array3<T>& a) {

@@ -17,6 +17,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "src/core/acoustic.hpp"
 #include "src/core/advection.hpp"
@@ -61,6 +63,15 @@ class TimeStepper {
 
     const TimeStepperConfig& config() const { return cfg_; }
 
+    /// Observer invoked with the updated state after every step() — the
+    /// opt-in hook the verification subsystem (conservation ledger,
+    /// src/verify/invariants.hpp) attaches to. Costs one branch per long
+    /// step when unset; pass {} to detach.
+    using StepObserver = std::function<void(const State<T>&)>;
+    void set_step_observer(StepObserver observer) {
+        step_observer_ = std::move(observer);
+    }
+
     /// Advance `state` by one long step dt.
     ///
     /// `state` itself serves as the step-start state: it is only read
@@ -96,6 +107,7 @@ class TimeStepper {
             apply_state_bcs(out);
             bar = &out;
         }
+        if (step_observer_) step_observer_(state);
     }
 
     /// Assemble the slow-mode tendencies at the given (BC-consistent)
@@ -294,6 +306,7 @@ class TimeStepper {
     State<T> work_;
     bool work_synced_ = false;
     Array3<T> p_pert_, rho_pert_;
+    StepObserver step_observer_;
 };
 
 }  // namespace asuca

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "src/common/error.hpp"
@@ -119,16 +121,45 @@ void fill_parallel(Array3<T>& a, T value) {
 
 /// Maximum absolute difference over the interiors of two same-shaped arrays
 /// (layouts may differ). The workhorse of the round-off agreement tests.
+/// NaN-propagating: any non-finite difference returns infinity immediately
+/// instead of being silently dropped by std::max's NaN behavior — a NaN on
+/// either side must FAIL an equality test, never pass it vacuously.
 template <class T, class U>
 double max_abs_diff(const Array3<T>& a, const Array3<U>& b) {
     ASUCA_REQUIRE(a.extents() == b.extents(), "max_abs_diff: shape mismatch");
     double m = 0.0;
     for (Index j = 0; j < a.ny(); ++j)
         for (Index k = 0; k < a.nz(); ++k)
-            for (Index i = 0; i < a.nx(); ++i)
-                m = std::max(m, std::abs(static_cast<double>(a(i, j, k)) -
-                                         static_cast<double>(b(i, j, k))));
+            for (Index i = 0; i < a.nx(); ++i) {
+                const double d =
+                    std::abs(static_cast<double>(a(i, j, k)) -
+                             static_cast<double>(b(i, j, k)));
+                if (!(d <= std::numeric_limits<double>::max()))
+                    return std::numeric_limits<double>::infinity();
+                m = std::max(m, d);
+            }
     return m;
+}
+
+/// Root-mean-square difference over the interiors of two same-shaped
+/// arrays, accumulated in double in a fixed order. The error norm of the
+/// grid-convergence (MMS) harness: unlike max_abs_diff it is insensitive
+/// to isolated limiter-clipped cells, so smooth-data convergence orders
+/// are measured on the bulk of the field.
+template <class T, class U>
+double rms_diff(const Array3<T>& a, const Array3<U>& b) {
+    ASUCA_REQUIRE(a.extents() == b.extents(), "rms_diff: shape mismatch");
+    double sum = 0.0;
+    for (Index j = 0; j < a.ny(); ++j)
+        for (Index k = 0; k < a.nz(); ++k)
+            for (Index i = 0; i < a.nx(); ++i) {
+                const double d = static_cast<double>(a(i, j, k)) -
+                                 static_cast<double>(b(i, j, k));
+                sum += d * d;
+            }
+    const auto n = static_cast<double>(a.nx()) * static_cast<double>(a.ny()) *
+                   static_cast<double>(a.nz());
+    return std::sqrt(sum / n);
 }
 
 }  // namespace asuca

@@ -1,0 +1,304 @@
+// Golden-regression infrastructure.
+//
+// A GoldenRecord fingerprints a model run: for every prognostic field
+// (plus diagnostic pressure) it stores interior min/max/mean/L2 and a few
+// probe-point values. Records serialize to tests/golden/*.json through
+// src/io/json.hpp; comparison is tolerance-aware so a golden mismatch
+// reports exactly which field and which statistic moved, by how much.
+//
+// Statistics instead of full field dumps keep baselines humanly diffable
+// (a regenerated golden shows *what* changed in review) while the probe
+// points catch compensating-error cases where global statistics stay put.
+//
+// The canonical runs (quickstart warm bubble, Sec. IV-B mountain wave with
+// warm rain, and a 2x2 multidomain decomposition) are defined HERE, so the
+// regeneration tool (examples/golden_tool.cpp) and the regression test
+// (tests/verify/test_golden_regression.cpp) execute byte-identical
+// configurations by construction.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/cluster/multidomain.hpp"
+#include "src/core/diagnostics.hpp"
+#include "src/core/scenarios.hpp"
+#include "src/core/state.hpp"
+#include "src/io/json.hpp"
+
+namespace asuca::verify {
+
+/// Fractional interior positions of the probe points, shared by every
+/// field (per-field index = floor(fraction * extent), so staggered shapes
+/// get consistent, deterministic locations).
+inline const std::vector<std::array<double, 3>>& probe_fractions() {
+    static const std::vector<std::array<double, 3>> f = {
+        {0.25, 0.25, 0.25},
+        {0.50, 0.50, 0.50},
+        {0.75, 0.25, 0.75},
+        {0.25, 0.75, 0.50},
+    };
+    return f;
+}
+
+struct FieldSummary {
+    std::string name;
+    FieldStats stats;
+    std::vector<double> probes;
+};
+
+struct GoldenRecord {
+    std::string name;
+    std::string description;
+    std::vector<FieldSummary> fields;
+
+    const FieldSummary* find(const std::string& field_name) const {
+        for (const auto& f : fields)
+            if (f.name == field_name) return &f;
+        return nullptr;
+    }
+};
+
+template <class T>
+FieldSummary summarize_field(std::string name, const Array3<T>& a) {
+    FieldSummary s;
+    s.name = std::move(name);
+    s.stats = field_stats(a);
+    for (const auto& fr : probe_fractions()) {
+        const Index i = static_cast<Index>(fr[0] * static_cast<double>(a.nx()));
+        const Index j = static_cast<Index>(fr[1] * static_cast<double>(a.ny()));
+        const Index k = static_cast<Index>(fr[2] * static_cast<double>(a.nz()));
+        s.probes.push_back(static_cast<double>(a(i, j, k)));
+    }
+    return s;
+}
+
+/// Fingerprint every prognostic field of a state plus pressure.
+template <class T>
+GoldenRecord summarize_state(std::string name, std::string description,
+                             const State<T>& state) {
+    GoldenRecord rec;
+    rec.name = std::move(name);
+    rec.description = std::move(description);
+    for (const VarId v : state.prognostic_ids()) {
+        rec.fields.push_back(
+            summarize_field(name_of(v, state.species), state.field(v)));
+    }
+    rec.fields.push_back(summarize_field("p", state.p));
+    return rec;
+}
+
+// --- JSON round-trip ---------------------------------------------------
+
+inline io::JsonValue to_json(const GoldenRecord& rec) {
+    io::JsonValue root;
+    root.set("schema", "asuca-golden-v1");
+    root.set("name", rec.name);
+    root.set("description", rec.description);
+    io::JsonArray fields;
+    for (const auto& f : rec.fields) {
+        io::JsonValue jf;
+        jf.set("name", f.name);
+        jf.set("min", f.stats.min);
+        jf.set("max", f.stats.max);
+        jf.set("mean", f.stats.mean);
+        jf.set("l2", f.stats.l2);
+        io::JsonArray probes;
+        for (const double p : f.probes) probes.emplace_back(p);
+        jf.set("probes", std::move(probes));
+        fields.push_back(std::move(jf));
+    }
+    root.set("fields", std::move(fields));
+    return root;
+}
+
+inline GoldenRecord record_from_json(const io::JsonValue& root) {
+    ASUCA_REQUIRE(root.has("schema") &&
+                      root.at("schema").as_string() == "asuca-golden-v1",
+                  "not an asuca golden record");
+    GoldenRecord rec;
+    rec.name = root.at("name").as_string();
+    rec.description = root.at("description").as_string();
+    for (const auto& jf : root.at("fields").as_array()) {
+        FieldSummary f;
+        f.name = jf.at("name").as_string();
+        f.stats.min = jf.at("min").as_number();
+        f.stats.max = jf.at("max").as_number();
+        f.stats.mean = jf.at("mean").as_number();
+        f.stats.l2 = jf.at("l2").as_number();
+        for (const auto& p : jf.at("probes").as_array())
+            f.probes.push_back(p.as_number());
+        rec.fields.push_back(std::move(f));
+    }
+    return rec;
+}
+
+inline std::string golden_path(const std::string& dir,
+                               const std::string& name) {
+    return dir + "/" + name + ".json";
+}
+
+inline void save_record(const std::string& dir, const GoldenRecord& rec) {
+    io::json_save(golden_path(dir, rec.name), to_json(rec));
+}
+
+inline GoldenRecord load_record(const std::string& dir,
+                                const std::string& name) {
+    return record_from_json(io::json_load(golden_path(dir, name)));
+}
+
+// --- tolerance-aware comparison ----------------------------------------
+
+struct GoldenTolerance {
+    /// Relative tolerance against the field's characteristic magnitude
+    /// max(|min|, |max|) — NOT against each statistic's own value, which
+    /// would blow up for near-zero means of signed fields.
+    double rtol = 1e-12;
+    double atol = 0.0;
+};
+
+/// Result of comparing a run against its stored baseline. `mismatches`
+/// holds one human-readable line per violated statistic.
+struct GoldenComparison {
+    std::vector<std::string> mismatches;
+    bool ok() const { return mismatches.empty(); }
+    std::string report() const {
+        std::string out;
+        for (const auto& m : mismatches) out += m + "\n";
+        return out;
+    }
+};
+
+inline GoldenComparison compare_records(const GoldenRecord& ref,
+                                        const GoldenRecord& got,
+                                        const GoldenTolerance& tol = {}) {
+    GoldenComparison cmp;
+    auto fail = [&](const std::string& field, const char* what, double r,
+                    double g, double bound) {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "%s.%s: ref %.17g vs got %.17g (|diff| %.3g > %.3g)",
+                      field.c_str(), what, r, g, std::abs(g - r), bound);
+        cmp.mismatches.emplace_back(buf);
+    };
+    for (const auto& rf : ref.fields) {
+        const FieldSummary* gf = got.find(rf.name);
+        if (gf == nullptr) {
+            cmp.mismatches.push_back(rf.name + ": missing from run");
+            continue;
+        }
+        const double scale =
+            std::max(std::abs(rf.stats.min), std::abs(rf.stats.max));
+        const double bound = tol.rtol * scale + tol.atol;
+        auto check = [&](const char* what, double r, double g) {
+            if (!(std::abs(g - r) <= bound)) fail(rf.name, what, r, g, bound);
+        };
+        check("min", rf.stats.min, gf->stats.min);
+        check("max", rf.stats.max, gf->stats.max);
+        check("mean", rf.stats.mean, gf->stats.mean);
+        check("l2", rf.stats.l2, gf->stats.l2);
+        if (rf.probes.size() != gf->probes.size()) {
+            cmp.mismatches.push_back(rf.name + ": probe count changed");
+            continue;
+        }
+        for (std::size_t n = 0; n < rf.probes.size(); ++n) {
+            char what[24];
+            std::snprintf(what, sizeof(what), "probe[%u]",
+                          static_cast<unsigned>(n));
+            check(what, rf.probes[n], gf->probes[n]);
+        }
+    }
+    for (const auto& gf : got.fields) {
+        if (ref.find(gf.name) == nullptr)
+            cmp.mismatches.push_back(gf.name + ": not in baseline");
+    }
+    return cmp;
+}
+
+// --- canonical golden runs ---------------------------------------------
+
+/// Names of the runs with checked-in baselines; run_golden() accepts
+/// exactly these.
+inline const std::vector<std::string>& golden_run_names() {
+    static const std::vector<std::string> names = {
+        "quickstart", "mountain_wave", "multidomain_2x2"};
+    return names;
+}
+
+namespace detail {
+
+inline GoldenRecord run_quickstart_golden() {
+    auto cfg = scenarios::warm_bubble_config<double>(16, 16, 12);
+    AsucaModel<double> model(cfg);
+    scenarios::init_warm_bubble(model);
+    model.run(10);
+    return summarize_state("quickstart",
+                           "warm bubble 16x16x12, dt=2, 10 steps",
+                           model.state());
+}
+
+inline GoldenRecord run_mountain_wave_golden() {
+    auto cfg = scenarios::mountain_wave_config<double>(24, 8, 16,
+                                                       /*with_physics=*/true);
+    AsucaModel<double> model(cfg);
+    scenarios::init_mountain_wave(model);
+    model.run(8);
+    return summarize_state(
+        "mountain_wave",
+        "Sec. IV-B mountain wave 24x8x16 + warm rain, dt=5, 8 steps",
+        model.state());
+}
+
+inline GoldenRecord run_multidomain_golden() {
+    // Same physics-free moist dynamics as the multidomain equivalence
+    // tests (tests/test_multidomain.cpp), decomposed 2x2. The summary is
+    // taken from the GATHERED global state, so this baseline also locks in
+    // the decomposition's agreement with the global layout.
+    GridSpec spec;
+    spec.nx = 24;
+    spec.ny = 12;
+    spec.nz = 10;
+    spec.dx = 1000.0;
+    spec.dy = 1000.0;
+    spec.ztop = 10000.0;
+    spec.terrain = bell_mountain(350.0, 3000.0, 12000.0, 6000.0);
+    TimeStepperConfig scfg;
+    scfg.dt = 4.0;
+    scfg.n_short_steps = 6;
+    scfg.diffusion.kh = 10.0;
+    scfg.diffusion.kv = 1.0;
+    scfg.sponge.z_start = 8000.0;
+    const SpeciesSet species = SpeciesSet::warm_rain();
+
+    Grid<double> grid(spec);
+    State<double> global(grid, species);
+    initialize_hydrostatic(grid,
+                           AtmosphereProfile::constant_n(292.0, 0.011), 8.0,
+                           3.0, global);
+    set_relative_humidity(
+        grid, [](double z) { return z < 2000.0 ? 0.8 : 0.3; }, global);
+
+    cluster::MultiDomainRunner<double> runner(spec, 2, 2, species, scfg);
+    runner.scatter(global);
+    for (int n = 0; n < 4; ++n) runner.step();
+    State<double> gathered(grid, species);
+    runner.gather(gathered);
+    return summarize_state(
+        "multidomain_2x2",
+        "bell mountain 24x12x10 + moist tracers, 2x2 ranks, dt=4, 4 steps",
+        gathered);
+}
+
+}  // namespace detail
+
+inline GoldenRecord run_golden(const std::string& name) {
+    if (name == "quickstart") return detail::run_quickstart_golden();
+    if (name == "mountain_wave") return detail::run_mountain_wave_golden();
+    if (name == "multidomain_2x2") return detail::run_multidomain_golden();
+    ASUCA_REQUIRE(false, "unknown golden run \"" << name << "\"");
+}
+
+}  // namespace asuca::verify

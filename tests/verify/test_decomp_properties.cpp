@@ -1,0 +1,122 @@
+// Property tests for the 2-D decomposition arithmetic (src/cluster/
+// decomp.hpp): the overlap rule global_n = P*local_n - 2*halo*(P-1) must
+// round-trip, halo strip byte counts must match hand-computed sizes, and
+// the paper's Table I meshes must come out exactly.
+#include <gtest/gtest.h>
+
+#include "src/cluster/decomp.hpp"
+
+namespace asuca::cluster {
+namespace {
+
+TEST(DecompProperties, GlobalMeshRoundTripsThroughOverlapRule) {
+    // Sweep rank grids, local extents, and halo depths; recovering the
+    // local mesh from the global one must be exact (integer) for every
+    // combination the rule generates.
+    for (const Index px : {1, 2, 3, 4, 7, 22}) {
+        for (const Index py : {1, 2, 5, 24}) {
+            for (const Index lx : {8, 17, 320}) {
+                for (const Index ly : {8, 33, 256}) {
+                    for (const Index halo : {1, 2, 3}) {
+                        Decomp2D d;
+                        d.px = px;
+                        d.py = py;
+                        d.local = {lx, ly, 48};
+                        d.halo = halo;
+                        const Int3 g = d.global_mesh();
+
+                        // Forward rule.
+                        EXPECT_EQ(g.x, px * lx - 2 * halo * (px - 1));
+                        EXPECT_EQ(g.y, py * ly - 2 * halo * (py - 1));
+                        EXPECT_EQ(g.z, 48);
+
+                        // Round trip: local = (global + 2*halo*(P-1)) / P,
+                        // exactly divisible by construction.
+                        const Index nux = g.x + 2 * halo * (px - 1);
+                        const Index nuy = g.y + 2 * halo * (py - 1);
+                        EXPECT_EQ(nux % px, 0);
+                        EXPECT_EQ(nuy % py, 0);
+                        EXPECT_EQ(nux / px, lx);
+                        EXPECT_EQ(nuy / py, ly);
+
+                        // The interior owned uniquely by some rank never
+                        // exceeds the local mesh.
+                        EXPECT_LE(g.x, px * lx);
+                        EXPECT_LE(g.y, py * ly);
+                        EXPECT_EQ(d.gpu_count(), px * py);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(DecompProperties, HaloBytesMatchHandComputedStripSizes) {
+    for (const Index halo : {1, 2, 3}) {
+        for (const Index lx : {16, 320}) {
+            for (const Index ly : {16, 256}) {
+                for (const Index lz : {48, 64}) {
+                    Decomp2D d;
+                    d.local = {lx, ly, lz};
+                    d.halo = halo;
+                    for (const std::size_t elem : {4u, 8u}) {
+                        // x strip: halo columns of a full y-z plane.
+                        EXPECT_EQ(d.x_halo_bytes(elem),
+                                  static_cast<double>(halo * ly * lz) *
+                                      static_cast<double>(elem));
+                        // y strip: halo rows of a full x-z plane
+                        // (contiguous in the xzy layout).
+                        EXPECT_EQ(d.y_halo_bytes(elem),
+                                  static_cast<double>(halo * lx * lz) *
+                                      static_cast<double>(elem));
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(DecompProperties, MaxNeighborsCoversAllRankShapes) {
+    Decomp2D d;
+    EXPECT_EQ(d.max_neighbors(), 0);  // 1x1: no exchange at all
+    d.px = 4;
+    EXPECT_EQ(d.max_neighbors(), 2);  // 1-D strip: left + right
+    d.py = 3;
+    EXPECT_EQ(d.max_neighbors(), 4);  // 2-D interior rank
+    d.px = 1;
+    EXPECT_EQ(d.max_neighbors(), 2);
+}
+
+TEST(DecompProperties, Table1LargestConfigMatchesPaper) {
+    // 22 x 24 GPUs x (320 x 256 x 48) local -> 6956 x 6052 x 48 global
+    // (paper Table I, the 528-GPU 15-TFlops row).
+    const auto configs = table1_configs();
+    ASSERT_EQ(configs.size(), 14u);
+    const Decomp2D& biggest = configs.back();
+    EXPECT_EQ(biggest.px, 22);
+    EXPECT_EQ(biggest.py, 24);
+    EXPECT_EQ(biggest.gpu_count(), 528);
+    const Int3 g = biggest.global_mesh();
+    EXPECT_EQ(g.x, 6956);
+    EXPECT_EQ(g.y, 6052);
+    EXPECT_EQ(g.z, 48);
+
+    // Every Table I row uses the paper's fixed local mesh and halo depth,
+    // and the implied global mesh is strictly increasing in rank count.
+    double prev_cells = 0.0;
+    for (const auto& d : configs) {
+        EXPECT_EQ(d.local.x, 320);
+        EXPECT_EQ(d.local.y, 256);
+        EXPECT_EQ(d.local.z, 48);
+        EXPECT_EQ(d.halo, 2);
+        const Int3 m = d.global_mesh();
+        const double cells = static_cast<double>(m.x) *
+                             static_cast<double>(m.y) *
+                             static_cast<double>(m.z);
+        EXPECT_GT(cells, prev_cells);
+        prev_cells = cells;
+    }
+}
+
+}  // namespace
+}  // namespace asuca::cluster

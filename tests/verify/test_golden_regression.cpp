@@ -1,0 +1,96 @@
+// Golden-regression tests: re-run the canonical configurations and compare
+// against the baselines under tests/golden/. This TU is compiled at the
+// library's optimization level (see tests/CMakeLists.txt) so the numbers
+// here are the production numbers.
+//
+// A legitimate numerics change regenerates the baselines with
+//   build/examples/golden_tool --regen
+// and ships the .json diff in the same commit (see README.md).
+#include <gtest/gtest.h>
+
+#include "src/verify/golden.hpp"
+
+#ifndef ASUCA_GOLDEN_DIR
+#error "ASUCA_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace asuca::verify {
+namespace {
+
+class GoldenRegression : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenRegression, MatchesBaseline) {
+    const std::string& name = GetParam();
+    const GoldenRecord ref = load_record(ASUCA_GOLDEN_DIR, name);
+    const GoldenRecord got = run_golden(name);
+    const auto cmp = compare_records(ref, got);
+    EXPECT_TRUE(cmp.ok()) << "golden mismatch for \"" << name
+                          << "\" — if intended, regenerate with "
+                             "golden_tool --regen and commit the diff:\n"
+                          << cmp.report();
+}
+
+INSTANTIATE_TEST_SUITE_P(CanonicalRuns, GoldenRegression,
+                         ::testing::ValuesIn(golden_run_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(GoldenRecordIo, JsonRoundTripIsExact) {
+    GoldenRecord rec;
+    rec.name = "roundtrip";
+    rec.description = "synthetic";
+    FieldSummary f;
+    f.name = "rho";
+    f.stats = {0.1234567890123456789, 1e300, -3.0e-17, 2.5};
+    f.probes = {1.0 / 3.0, -0.0, 42.0};
+    rec.fields.push_back(f);
+
+    const auto back = record_from_json(io::json_parse(to_json(rec).dump()));
+    ASSERT_EQ(back.fields.size(), 1u);
+    // %.17g serialization round-trips doubles bit-exactly.
+    EXPECT_EQ(back.fields[0].stats.min, f.stats.min);
+    EXPECT_EQ(back.fields[0].stats.max, f.stats.max);
+    EXPECT_EQ(back.fields[0].stats.mean, f.stats.mean);
+    EXPECT_EQ(back.fields[0].stats.l2, f.stats.l2);
+    EXPECT_EQ(back.fields[0].probes, f.probes);
+    EXPECT_TRUE(compare_records(rec, back).ok());
+}
+
+TEST(GoldenRecordIo, CompareFlagsPerturbationsAndShapeChanges) {
+    GoldenRecord ref;
+    ref.name = "x";
+    ref.fields.push_back({"rho", {1.0, 2.0, 1.5, 1.6}, {1.0, 2.0}});
+
+    GoldenRecord same = ref;
+    EXPECT_TRUE(compare_records(ref, same).ok());
+
+    GoldenRecord bumped = ref;
+    bumped.fields[0].stats.mean += 1e-6;
+    const auto cmp = compare_records(ref, bumped);
+    ASSERT_FALSE(cmp.ok());
+    EXPECT_NE(cmp.report().find("rho.mean"), std::string::npos);
+
+    // Below tolerance passes.
+    GoldenRecord tiny = ref;
+    tiny.fields[0].stats.mean += 1e-15;
+    EXPECT_TRUE(compare_records(ref, tiny).ok());
+
+    GoldenRecord extra = ref;
+    extra.fields.push_back({"ghost", {}, {}});
+    EXPECT_FALSE(compare_records(ref, extra).ok());
+    GoldenRecord missing;
+    missing.name = "x";
+    EXPECT_FALSE(compare_records(ref, missing).ok());
+
+    GoldenRecord probes = ref;
+    probes.fields[0].probes.pop_back();
+    EXPECT_FALSE(compare_records(ref, probes).ok());
+}
+
+TEST(GoldenRecordIo, RejectsForeignJson) {
+    EXPECT_THROW(record_from_json(io::json_parse("{\"name\": \"x\"}")),
+                 Error);
+    EXPECT_THROW(record_from_json(io::json_parse("[1, 2]")), Error);
+}
+
+}  // namespace
+}  // namespace asuca::verify
