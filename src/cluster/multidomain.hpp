@@ -2,30 +2,63 @@
 // numerical counterpart of the paper's 2-D MPI decomposition (Sec. V).
 //
 // The global domain is split px x py; each "rank" owns its own Grid,
-// State and TimeStepper machinery, and the runner drives all ranks in
-// lockstep through exactly the stage/substep structure of
-// TimeStepper::step(), replacing every lateral-BC halo fill by a strip
-// copy from the neighboring rank (periodic at the global edges) — the
-// same exchange points at which the paper's implementation performs its
-// GPU->CPU / MPI / CPU->GPU transfers, including the per-short-step
-// exchanges of momentum and potential temperature.
+// State and TimeStepper machinery. Two executors share that layout:
 //
-// Because the per-cell arithmetic is identical and the exchanged halos
-// carry exactly the values the single-domain periodic fill would produce,
-// a decomposed run reproduces the single-domain run to machine precision
-// (validated in tests/test_multidomain.cpp) — the decomposition analog of
-// the paper's "GPU code agrees with the CPU code within round-off".
+//   * OverlapMode::None — the reference LOCKSTEP path: one thread drives
+//     all ranks through exactly the stage/substep structure of
+//     TimeStepper::step(), replacing every lateral-BC halo fill by a
+//     direct strip copy from the neighboring rank while no rank computes
+//     (a global barrier at every exchange point).
+//
+//   * OverlapMode::Split / SplitPipeline — the CONCURRENT executor: each
+//     rank runs the whole step program on its own TaskLayer worker
+//     (issuing its kernels against a private per-rank ThreadPool via
+//     ThreadPool::ScopedOverride), and halos move through per-neighbor
+//     double-buffered HaloChannels instead of barriers. Halo-consuming
+//     kernels split into boundary-strip and interior launches so the
+//     strips can be posted while the interior computes — the paper's
+//     Sec. V-A overlap method 2 — and the acoustic density/theta updates
+//     run logically fused (method 3). SplitPipeline adds method 1
+//     (inter-variable pipelining: tracer y-halo receives interleave with
+//     the per-tracer advection).
+//
+// Because the per-cell arithmetic is identical, the channel strips carry
+// exactly the cells the lockstep copies move, and every kernel split is
+// a disjoint partition of the same writes, ALL modes are bitwise
+// identical to each other and to the single-domain run (validated in
+// tests/test_multidomain.cpp and tests/test_multidomain_overlap.cpp) —
+// the decomposition analog of the paper's "GPU code agrees with the CPU
+// code within round-off".
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "src/cluster/halo_channel.hpp"
 #include "src/core/timestepper.hpp"
 #include "src/grid/grid.hpp"
+#include "src/parallel/task_layer.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace asuca::cluster {
+
+/// How the concurrent executor hides halo exchanges behind compute.
+enum class OverlapMode {
+    None,          ///< lockstep reference path (serial, global barriers)
+    Split,         ///< rank-concurrent + kernel division (2) + fusion (3)
+    SplitPipeline  ///< + inter-variable tracer pipelining (method 1)
+};
+
+struct MultiDomainConfig {
+    OverlapMode overlap = OverlapMode::None;
+    /// Threads in each rank's private ThreadPool (concurrent modes). 1
+    /// means the rank's j-slab loops run inline on its task thread.
+    std::size_t threads_per_rank = 1;
+};
 
 template <class T>
 class MultiDomainRunner {
@@ -34,8 +67,10 @@ class MultiDomainRunner {
     /// subdomains (extents must divide evenly).
     MultiDomainRunner(const GridSpec& global, Index px, Index py,
                       const SpeciesSet& species,
-                      const TimeStepperConfig& config)
-        : global_(global), px_(px), py_(py), species_(species), cfg_(config) {
+                      const TimeStepperConfig& config,
+                      const MultiDomainConfig& mdconfig = {})
+        : global_(global), px_(px), py_(py), species_(species), cfg_(config),
+          mdcfg_(mdconfig) {
         ASUCA_REQUIRE(px >= 1 && py >= 1, "need at least 1x1 ranks");
         ASUCA_REQUIRE(global.nx % px == 0 && global.ny % py == 0,
                       "global mesh " << global.nx << "x" << global.ny
@@ -45,11 +80,34 @@ class MultiDomainRunner {
                       "multi-domain runner implements periodic exchange");
         nxl_ = global.nx / px;
         nyl_ = global.ny / py;
+        // Both overlap modes enable the paper's method-3 fusion inside
+        // the acoustic implicit phase (bitwise identical either way):
+        // fusion is a property of the rewritten acoustic step, not of
+        // the inter-variable pipelining that SplitPipeline adds on top.
+        TimeStepperConfig rank_cfg = cfg_;
+        if (mdcfg_.overlap != OverlapMode::None) {
+            rank_cfg.acoustic.fuse_density_theta = true;
+        }
         ranks_.reserve(static_cast<std::size_t>(px * py));
         for (Index ry = 0; ry < py; ++ry) {
             for (Index rx = 0; rx < px; ++rx) {
                 ranks_.push_back(std::make_unique<Rank>(
-                    make_local_spec(rx, ry), species_, cfg_));
+                    make_local_spec(rx, ry), species_, rank_cfg));
+            }
+        }
+        if (mdcfg_.overlap != OverlapMode::None) {
+            const Index h = ranks_.front()->grid.halo();
+            ASUCA_REQUIRE(nxl_ >= 2 * h && nyl_ >= 2 * h,
+                          "overlap modes need local extents >= 2*halo, got "
+                              << nxl_ << "x" << nyl_);
+            tasks_ = std::make_unique<TaskLayer>(
+                static_cast<std::size_t>(rank_count()));
+            exchanger_ = std::make_unique<HaloExchanger<T>>(px_, py_, nxl_,
+                                                            nyl_);
+            pools_.reserve(static_cast<std::size_t>(rank_count()));
+            for (Index r = 0; r < rank_count(); ++r) {
+                pools_.push_back(std::make_unique<ThreadPool>(
+                    std::max<std::size_t>(1, mdcfg_.threads_per_rank)));
             }
         }
     }
@@ -59,11 +117,13 @@ class MultiDomainRunner {
     const Grid<T>& rank_grid(Index r) const {
         return ranks_[size_t(r)]->grid;
     }
+    OverlapMode overlap_mode() const { return mdcfg_.overlap; }
 
-    /// Observer invoked after every lockstep step(), when all rank states
-    /// are final and exchanged — the decomposed counterpart of
+    /// Observer invoked after every step(), when all rank states are
+    /// final and exchanged — the decomposed counterpart of
     /// TimeStepper::set_step_observer (the conservation ledger attaches
-    /// here, summing rank invariants). One branch per step when unset.
+    /// here, summing rank invariants). Always called from the step()
+    /// caller's thread, after the rank tasks have joined.
     using StepObserver = std::function<void(MultiDomainRunner&)>;
     void set_step_observer(StepObserver observer) {
         step_observer_ = std::move(observer);
@@ -112,14 +172,52 @@ class MultiDomainRunner {
         }
     }
 
-    /// One long step on every rank, in lockstep, mirroring
-    /// TimeStepper::step() with exchanges at every halo-fill point.
+    /// One long step on every rank.
     void step() {
+        if (mdcfg_.overlap == OverlapMode::None) {
+            step_lockstep();
+        } else {
+            step_concurrent();
+        }
+        if (step_observer_) step_observer_(*this);
+    }
+
+  private:
+    using size_t = std::size_t;
+
+    struct Rank {
+        Rank(const GridSpec& spec, const SpeciesSet& species,
+             const TimeStepperConfig& cfg)
+            : grid(spec), state(grid, species), stepper(grid, species, cfg) {}
+        Grid<T> grid;
+        State<T> state;
+        TimeStepper<T> stepper;
+    };
+
+    static constexpr double kStageFraction[3] = {1.0 / 3.0, 0.5, 1.0};
+    /// Exchanged state fields in canonical order: the six dynamic fields
+    /// first, then the tracers. Channel message streams rely on every
+    /// rank issuing posts/receives in this same order.
+    static constexpr std::size_t kNumDynamicFields = 6;
+
+    static std::vector<Array3<T>*> exchange_field_list(State<T>& s) {
+        std::vector<Array3<T>*> fs = {&s.rho, &s.rhou,     &s.rhov,
+                                      &s.rhow, &s.rhotheta, &s.p};
+        for (auto& q : s.tracers) fs.push_back(&q);
+        return fs;
+    }
+
+    // ------------------------------------------------------------------
+    // Lockstep reference executor (OverlapMode::None).
+    // ------------------------------------------------------------------
+
+    /// Mirrors TimeStepper::step() with exchanges at every halo-fill
+    /// point, all ranks advanced by one serial driver.
+    void step_lockstep() {
         exchange_states();
         for (auto& rk : ranks_) {
             rk->stepper.step_start_state() = rk->state;
         }
-        static constexpr double kStageFraction[3] = {1.0 / 3.0, 0.5, 1.0};
         std::vector<State<T>*> bar(static_cast<std::size_t>(rank_count()),
                                    nullptr);
         for (Index r = 0; r < rank_count(); ++r) {
@@ -189,20 +287,188 @@ class MultiDomainRunner {
             ranks_[size_t(r)]->state = ranks_[size_t(r)]->stepper
                                            .stage_workspace();
         }
-        if (step_observer_) step_observer_(*this);
     }
 
-  private:
-    using size_t = std::size_t;
+    // ------------------------------------------------------------------
+    // Concurrent executor (OverlapMode::Split / SplitPipeline).
+    // ------------------------------------------------------------------
 
-    struct Rank {
-        Rank(const GridSpec& spec, const SpeciesSet& species,
-             const TimeStepperConfig& cfg)
-            : grid(spec), state(grid, species), stepper(grid, species, cfg) {}
-        Grid<T> grid;
-        State<T> state;
-        TimeStepper<T> stepper;
-    };
+    void step_concurrent() {
+        const bool pipeline =
+            (mdcfg_.overlap == OverlapMode::SplitPipeline);
+        tasks_->run([&](std::size_t ri) {
+            // Route this rank's j-slab kernels to its private pool (inline
+            // when single-threaded) — the process pool's run_region
+            // supports only one caller at a time.
+            ThreadPool::ScopedOverride pool_guard(*pools_[ri]);
+            rank_step_program(static_cast<Index>(ri), pipeline);
+        });
+    }
+
+    /// The whole long step from one rank's point of view. Every rank runs
+    /// this same program, so each SPSC channel sees an identical message
+    /// sequence on both ends and the bounded (<= 2 in flight) post/recv
+    /// schedules below can never deadlock: each post waits only on a
+    /// receive that occurs strictly earlier in the shared program order.
+    void rank_step_program(Index r, bool pipeline) {
+        Rank& rk = *ranks_[size_t(r)];
+        TimeStepper<T>& st = rk.stepper;
+        AcousticStepper<T>& ac = st.acoustic();
+        Tendencies<T>& slow = st.slow_tendencies();
+
+        if (!pipeline) {
+            pipelined_exchange(r, exchange_field_list(rk.state));
+            st.step_start_state() = rk.state;
+        }
+        State<T>* bar = &rk.state;
+        for (int stage = 0; stage < 3; ++stage) {
+            const double dt_s = cfg_.dt * kStageFraction[stage];
+            const int ns = std::max(
+                1, static_cast<int>(std::lround(cfg_.n_short_steps *
+                                                kStageFraction[stage])));
+            const double dtau = dt_s / ns;
+            if (pipeline) {
+                // The bar exchange (step-start state for stage 0, the
+                // deferred previous-stage workspace otherwise) overlaps
+                // the slow-tendency computation.
+                combined_exchange_and_tendencies(r, *bar, slow);
+                // The step-start state snapshot: taken after all strips
+                // landed, matching the lockstep copy exactly (the
+                // tendencies read bar without modifying it).
+                if (stage == 0) st.step_start_state() = rk.state;
+            } else {
+                st.compute_slow_tendencies(*bar, slow);
+            }
+            ac.prepare(*bar);
+            ac.init_deviations(st.step_start_state(), *bar);
+            for (int n = 0; n < ns; ++n) {
+                acoustic_substep_split(r, dtau);
+            }
+            st.stage_workspace() = *bar;
+            ac.finalize(*bar, st.stage_workspace());
+            st.update_stage_tracers(dt_s);
+            bar = &st.stage_workspace();
+            if (!pipeline) {
+                pipelined_exchange(r, exchange_field_list(*bar));
+            } else if (stage == 2) {
+                // Stages 0-1 defer the workspace exchange into the next
+                // stage's combined block; the final one must complete
+                // before the workspace becomes the step result.
+                pipelined_exchange(r, exchange_field_list(*bar));
+            }
+        }
+        rk.state = st.stage_workspace();
+    }
+
+    /// Generic pipelined exchange of a field group: x posts run one field
+    /// ahead of the x receives, y posts two fields ahead of the y
+    /// receives, so every channel holds at most 2 in-flight messages
+    /// (its slot count) while pack/unpack of different fields overlap
+    /// across ranks.
+    void pipelined_exchange(Index r, const std::vector<Array3<T>*>& fs) {
+        const std::size_t m = fs.size();
+        if (m == 0) return;
+        exchanger_->post_x(r, *fs[0]);
+        for (std::size_t f = 0; f < m; ++f) {
+            if (f + 1 < m) exchanger_->post_x(r, *fs[f + 1]);
+            exchanger_->recv_x(r, *fs[f]);
+            exchanger_->post_y(r, *fs[f]);
+            if (f >= 1) exchanger_->recv_y(r, *fs[f - 1]);
+        }
+        exchanger_->recv_y(r, *fs[m - 1]);
+    }
+
+    /// SplitPipeline stage opening: exchange all of bar's fields AND
+    /// compute the slow tendencies, overlapped (paper Sec. V-A method 1).
+    /// The y receives of the tracers are deferred past the dynamic
+    /// tendencies and interleaved with the split per-tracer advection —
+    /// safe because nothing before each tracer's boundary-band advection
+    /// reads that tracer's y halos, and bitwise identical because the
+    /// strips carry the same values wherever the receive lands.
+    void combined_exchange_and_tendencies(Index r, State<T>& bar,
+                                          Tendencies<T>& slow) {
+        Rank& rk = *ranks_[size_t(r)];
+        const auto fields = exchange_field_list(bar);
+        const std::size_t m = fields.size();
+        const Index h = rk.grid.halo();
+        const Index ny = rk.grid.ny();
+
+        // x strips of every field, pipelined.
+        exchanger_->post_x(r, *fields[0]);
+        for (std::size_t f = 0; f < m; ++f) {
+            if (f + 1 < m) exchanger_->post_x(r, *fields[f + 1]);
+            exchanger_->recv_x(r, *fields[f]);
+        }
+        // y strips: post in field order with a look-ahead of 2 (the
+        // channel slot count); receive the dynamic fields now — the slow
+        // tendencies need their halos — and the tracers lazily below.
+        exchanger_->post_y(r, *fields[0]);
+        exchanger_->post_y(r, *fields[1]);
+        for (std::size_t f = 0; f < kNumDynamicFields; ++f) {
+            exchanger_->recv_y(r, *fields[f]);
+            if (f + 2 < m) exchanger_->post_y(r, *fields[f + 2]);
+        }
+
+        // The overlap window: while the tracer y strips sit in the
+        // channels, compute everything that does not read them.
+        rk.stepper.compute_slow_tendencies_dynamic(bar, slow);
+
+        // Per tracer: interior rows first (advection reaches +-halo rows,
+        // so they need no y halos), then the receive, then the boundary
+        // bands that do.
+        for (std::size_t f = kNumDynamicFields; f < m; ++f) {
+            const std::size_t n = f - kNumDynamicFields;
+            rk.stepper.advect_tracer_rows(bar, slow, n, h, ny - h);
+            exchanger_->recv_y(r, *fields[f]);
+            if (f + 2 < m) exchanger_->post_y(r, *fields[f + 2]);
+            rk.stepper.advect_tracer_rows(bar, slow, n, 0, h);
+            rk.stepper.advect_tracer_rows(bar, slow, n, ny - h, ny);
+        }
+    }
+
+    /// One acoustic substep with halo-consuming kernels divided into
+    /// boundary-strip and interior launches (paper Sec. V-A method 2):
+    /// dp_half's strips are computed and posted before its interior, the
+    /// x-momentum update (which reads no y halos) and all but one row of
+    /// the y-momentum update run while dp_half's y strips are in flight.
+    void acoustic_substep_split(Index r, double dtau) {
+        Rank& rk = *ranks_[size_t(r)];
+        AcousticStepper<T>& ac = rk.stepper.acoustic();
+        Tendencies<T>& slow = rk.stepper.slow_tendencies();
+        const Index nx = rk.grid.nx(), ny = rk.grid.ny();
+        const Index h = rk.grid.halo();
+
+        // Phase 1 boundary frame first — exactly the cells the dp_half
+        // channels carry.
+        ac.phase_theta_half_region(slow, dtau, 0, h, 0, ny);
+        ac.phase_theta_half_region(slow, dtau, nx - h, nx, 0, ny);
+        ac.phase_theta_half_region(slow, dtau, h, nx - h, 0, h);
+        ac.phase_theta_half_region(slow, dtau, h, nx - h, ny - h, ny);
+        exchanger_->post_x(r, ac.dp_half());
+        // Interior overlaps the in-flight x strips.
+        ac.phase_theta_half_region(slow, dtau, h, nx - h, h, ny - h);
+        exchanger_->recv_x(r, ac.dp_half());
+        exchanger_->post_y(r, ac.dp_half());
+        // pgf_x reads no y halos: every row runs during the y exchange.
+        ac.phase_momentum_x_rows(slow, dtau, 0, ny);
+        // pgf_y face row j reads rows j-1 and j: only row 0 must wait.
+        ac.phase_momentum_y_rows(slow, dtau, 1, ny);
+        exchanger_->recv_y(r, ac.dp_half());
+        ac.phase_momentum_y_rows(slow, dtau, 0, 1);
+
+        // du/dv halos feed the one-ring bottom kinematic condition.
+        pipelined_exchange(r, {&ac.du(), &ac.dv()});
+        ac.phase_bottom_kinematic();
+        ac.phase_vertical_implicit(slow, dtau);
+
+        // Deviation halos for the next substep / finalize (the paper's
+        // per-short-step exchanges of momentum, density and theta).
+        pipelined_exchange(r, {&ac.dw(), &ac.drho(), &ac.dth(), &ac.dp()});
+    }
+
+    // ------------------------------------------------------------------
+    // Shared decomposition helpers.
+    // ------------------------------------------------------------------
 
     GridSpec make_local_spec(Index rx, Index ry) const {
         GridSpec s = global_;
@@ -268,7 +534,7 @@ class MultiDomainRunner {
                     global(ox + i, oy + j, k) = local(i, j, k);
     }
 
-    /// Exchange halos of one field family across all ranks: x strips
+    /// Lockstep exchange of one field family across all ranks: x strips
     /// first, then y strips over the full padded x-range (corners resolve
     /// exactly as in the single-domain periodic fill).
     template <class FieldOf>
@@ -337,8 +603,13 @@ class MultiDomainRunner {
     Index px_, py_;
     SpeciesSet species_;
     TimeStepperConfig cfg_;
+    MultiDomainConfig mdcfg_;
     Index nxl_ = 0, nyl_ = 0;
     std::vector<std::unique_ptr<Rank>> ranks_;
+    // Concurrent-mode machinery (null in lockstep mode).
+    std::unique_ptr<TaskLayer> tasks_;
+    std::unique_ptr<HaloExchanger<T>> exchanger_;
+    std::vector<std::unique_ptr<ThreadPool>> pools_;
     StepObserver step_observer_;
 };
 

@@ -40,6 +40,14 @@ namespace asuca {
 
 struct AcousticConfig {
     double beta = 0.6;  ///< implicit off-centering (0.5..1)
+    /// Fuse the density (continuity) and potential-temperature update
+    /// kernels of the implicit phase into one streaming pass — the
+    /// paper's Sec. V-A method 3 "logical fusion", which on the GPU hides
+    /// the density exchange (too short to hide alone) behind the theta
+    /// compute window. Per-cell arithmetic is unchanged, so results are
+    /// bitwise identical either way (asserted by the overlap tests); the
+    /// fused pass reads the shared dw/dv3 operands once.
+    bool fuse_density_theta = false;
 };
 
 template <class T>
@@ -225,7 +233,20 @@ class AcousticStepper {
     /// second-order Runge-Kutta scheme"). Caller must then fill dp_half
     /// halos (BC or exchange).
     void phase_theta_half(const Tendencies<T>& slow, double dtau) {
-        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        phase_theta_half_region(slow, dtau, 0, grid_.nx(), 0, grid_.ny());
+    }
+
+    /// Region-restricted phase 1 over cells [i0,i1) x [j0,j1): the
+    /// overlapped multi-domain runner computes the boundary frame first
+    /// (whose dp_half values feed the halo channels), posts it, and then
+    /// computes the interior while the strips are in flight (paper
+    /// Sec. V-A method 2). Reads only current-substep deviations at the
+    /// cell's own and +1 stagger positions — no lateral halos — so any
+    /// disjoint cover of the interior is bitwise identical to one
+    /// full-range call.
+    void phase_theta_half_region(const Tendencies<T>& slow, double dtau,
+                                 Index i0, Index i1, Index j0, Index j1) {
+        const Index nz = grid_.nz();
         const T rdx = T(1.0 / grid_.dx());
         const T rdy = T(1.0 / grid_.dy());
         const auto& jc = grid_.jacobian();
@@ -236,12 +257,13 @@ class AcousticStepper {
         {
             KernelScope scope("theta_update_half",
                               {/*reads=*/10, /*writes=*/1, 14},
-                              static_cast<std::uint64_t>(nx * ny * nz));
-            parallel_for(ny, [&](Index jb, Index je) {
+                              static_cast<std::uint64_t>(
+                                  (i1 - i0) * (j1 - j0) * nz));
+            parallel_for_range(j0, j1, [&](Index jb, Index je) {
             for (Index j = jb; j < je; ++j) {
                 for (Index k = 0; k < nz; ++k) {
                     const T rdz = T(1.0 / grid_.dzeta(k));
-                    for (Index i = 0; i < nx; ++i) {
+                    for (Index i = i0; i < i1; ++i) {
                         // Vertical deviation flux at faces k and k+1 with
                         // the metric cross term, zero at the boundaries.
                         const T fz_lo = deviation_fz(i, j, k);
@@ -275,33 +297,57 @@ class AcousticStepper {
     /// Requires dp_half halos to be valid; caller must refresh du/dv halos
     /// afterwards.
     void phase_horizontal_momentum(const Tendencies<T>& slow, double dtau) {
-        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
-        {
-            KernelScope scope("pgf_x_short", {/*reads=*/4, /*writes=*/1, 16},
-                              static_cast<std::uint64_t>(nx * ny * nz));
-            fill_parallel(tend_u_, T(0));
-            pgf_x(grid_, dp_half_, tend_u_);
-            parallel_for(ny, [&](Index jb, Index je) {
-                for (Index j = jb; j < je; ++j)
-                    for (Index k = 0; k < nz; ++k)
-                        for (Index i = 0; i < nx; ++i)
-                            du_(i, j, k) += T(dtau) * (tend_u_(i, j, k) +
-                                                        slow.rhou(i, j, k));
-            });
-        }
-        {
-            KernelScope scope("pgf_y_short", {/*reads=*/4, /*writes=*/1, 16},
-                              static_cast<std::uint64_t>(nx * ny * nz));
-            fill_parallel(tend_v_, T(0));
-            pgf_y(grid_, dp_half_, tend_v_);
-            parallel_for(ny, [&](Index jb, Index je) {
-                for (Index j = jb; j < je; ++j)
-                    for (Index k = 0; k < nz; ++k)
-                        for (Index i = 0; i < nx; ++i)
-                            dv_(i, j, k) += T(dtau) * (tend_v_(i, j, k) +
-                                                        slow.rhov(i, j, k));
-            });
-        }
+        phase_momentum_x_rows(slow, dtau, 0, grid_.ny());
+        phase_momentum_y_rows(slow, dtau, 0, grid_.ny());
+    }
+
+    /// x-momentum update restricted to rows [j0, j1). pgf_x reads only
+    /// depth-1 x halos of dp_half — no y halos — so the overlapped runner
+    /// launches ALL rows right after the dp_half x-strips unpack, without
+    /// waiting for the y exchange (paper Sec. V-A method 2). Row regions
+    /// are disjoint with unchanged per-cell arithmetic, hence bitwise
+    /// identical to one full-range call.
+    void phase_momentum_x_rows(const Tendencies<T>& slow, double dtau,
+                               Index j0, Index j1) {
+        const Index nx = grid_.nx(), nz = grid_.nz();
+        KernelScope scope("pgf_x_short", {/*reads=*/4, /*writes=*/1, 16},
+                          static_cast<std::uint64_t>(nx * (j1 - j0) * nz));
+        parallel_for_range(j0, j1, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = 0; k < nz; ++k)
+                    for (Index i = 0; i < nx; ++i) tend_u_(i, j, k) = T(0);
+        });
+        pgf_x_rows(grid_, dp_half_, tend_u_, j0, j1);
+        parallel_for_range(j0, j1, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = 0; k < nz; ++k)
+                    for (Index i = 0; i < nx; ++i)
+                        du_(i, j, k) += T(dtau) * (tend_u_(i, j, k) +
+                                                    slow.rhou(i, j, k));
+        });
+    }
+
+    /// y-momentum update restricted to face rows [j0, j1). Face row j
+    /// reads dp_half rows j-1 and j, so rows [1, ny) run before the south
+    /// y halo arrives; only row 0 waits for it.
+    void phase_momentum_y_rows(const Tendencies<T>& slow, double dtau,
+                               Index j0, Index j1) {
+        const Index nx = grid_.nx(), nz = grid_.nz();
+        KernelScope scope("pgf_y_short", {/*reads=*/4, /*writes=*/1, 16},
+                          static_cast<std::uint64_t>(nx * (j1 - j0) * nz));
+        parallel_for_range(j0, j1, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = 0; k < nz; ++k)
+                    for (Index i = 0; i < nx; ++i) tend_v_(i, j, k) = T(0);
+        });
+        pgf_y_rows(grid_, dp_half_, tend_v_, j0, j1);
+        parallel_for_range(j0, j1, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = 0; k < nz; ++k)
+                    for (Index i = 0; i < nx; ++i)
+                        dv_(i, j, k) += T(dtau) * (tend_v_(i, j, k) +
+                                                    slow.rhov(i, j, k));
+        });
     }
 
     /// The bottom kinematic condition for the deviation field; requires
@@ -484,8 +530,34 @@ class AcousticStepper {
         });
         }  // helmholtz_1d scope
 
-        // Final rho', theta', p' with the beta-averaged new W', as three
-        // separate streaming kernels mirroring the paper's component list.
+        // Final rho', theta', p' with the beta-averaged new W'. The fused
+        // variant (paper Sec. V-A method 3 "logical fusion") performs all
+        // three updates in one streaming pass so the shared dw/dv3 operands
+        // are read once and the density update rides in the theta kernel's
+        // window; per-cell arithmetic is unchanged, so both variants are
+        // bitwise identical (asserted by tests/test_multidomain_overlap).
+        if (cfg_.fuse_density_theta) {
+            KernelScope scope("density_theta_fused",
+                              {/*reads=*/6, /*writes=*/3, 6},
+                              static_cast<std::uint64_t>(nx * ny * nz));
+            parallel_for(ny, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                for (Index k = 0; k < nz; ++k)
+                    for (Index i = 0; i < nx; ++i) {
+                        const T w_lo = (k == 0) ? T(0) : dw_(i, j, k);
+                        const T w_hi =
+                            (k == nz - 1) ? T(0) : dw_(i, j, k + 1);
+                        drho_(i, j, k) =
+                            rv3_(i, j, k) - dv3_(i, j, k) * (w_hi - w_lo);
+                        dth_(i, j, k) =
+                            cv3_(i, j, k) -
+                            dv3_(i, j, k) * (thf_z_(i, j, k + 1) * w_hi -
+                                             thf_z_(i, j, k) * w_lo);
+                        dp_(i, j, k) = cpt_(i, j, k) * dth_(i, j, k);
+                    }
+            });
+            return;
+        }
         {
             KernelScope scope("continuity_update",
                               {/*reads=*/3, /*writes=*/1, 2},

@@ -21,16 +21,24 @@
 
 namespace asuca {
 
-/// Accumulate -dp/dx|_z onto the rho*u tendency at interior x-faces.
-/// `p` must have valid halos to depth 1 in x and full column in z.
+/// Accumulate -dp/dx|_z onto the rho*u tendency at x-faces of rows
+/// [j0, j1). Region-restricted entry point: the overlapped multi-domain
+/// runner launches it separately on boundary strips and the interior so
+/// the strip results can be exchanged while the interior computes (paper
+/// Sec. V-A method 2). Row regions touch disjoint cells with identical
+/// per-cell arithmetic, so any partition is bitwise identical to one
+/// full-range call. Only depth-1 x halos of `p` are read — no y halos —
+/// which is what lets the runner launch all rows before the y-direction
+/// halo exchange completes.
 template <class T>
-void pgf_x(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhou) {
-    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+void pgf_x_rows(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhou,
+                Index j0, Index j1) {
+    const Index nx = grid.nx(), nz = grid.nz();
     const T rdx = T(1.0 / grid.dx());
     const auto& jxf = grid.jacobian_xface();
     const auto& hs = grid.hsurf();
 
-    parallel_for(ny, [&](Index jb, Index je) {
+    parallel_for_range(j0, j1, [&](Index jb, Index je) {
         for (Index j = jb; j < je; ++j) {
             for (Index k = 0; k < nz; ++k) {
                 // zeta derivative spacing (centered; one-sided at the ends).
@@ -56,15 +64,26 @@ void pgf_x(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhou) {
     });
 }
 
-/// Accumulate -dp/dy|_z onto the rho*v tendency at interior y-faces.
+/// Accumulate -dp/dx|_z onto the rho*u tendency at interior x-faces.
+/// `p` must have valid halos to depth 1 in x and full column in z.
 template <class T>
-void pgf_y(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhov) {
-    const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+void pgf_x(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhou) {
+    pgf_x_rows(grid, p, tend_rhou, Index(0), grid.ny());
+}
+
+/// Accumulate -dp/dy|_z onto the rho*v tendency at y-faces [j0, j1).
+/// Region-restricted (see pgf_x_rows). Face row j reads pressure rows
+/// j-1 and j, so faces [1, ny) need no y halos at all; only face row 0
+/// waits for the south halo.
+template <class T>
+void pgf_y_rows(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhov,
+                Index j0, Index j1) {
+    const Index nx = grid.nx(), nz = grid.nz();
     const T rdy = T(1.0 / grid.dy());
     const auto& jyf = grid.jacobian_yface();
     const auto& hs = grid.hsurf();
 
-    parallel_for(ny, [&](Index jb, Index je) {
+    parallel_for_range(j0, j1, [&](Index jb, Index je) {
         for (Index j = jb; j < je; ++j) {
             for (Index k = 0; k < nz; ++k) {
                 const Index km = (k > 0) ? k - 1 : k;
@@ -85,6 +104,12 @@ void pgf_y(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhov) {
             }
         }
     });
+}
+
+/// Accumulate -dp/dy|_z onto the rho*v tendency at interior y-faces.
+template <class T>
+void pgf_y(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhov) {
+    pgf_y_rows(grid, p, tend_rhov, Index(0), grid.ny());
 }
 
 /// Accumulate the vertical pressure gradient -(1/J) dp/dzeta and buoyancy

@@ -113,6 +113,21 @@ class TimeStepper {
     /// Assemble the slow-mode tendencies at the given (BC-consistent)
     /// state. Public so tests and the FLOP calibration can call it alone.
     void compute_slow_tendencies(const State<T>& bar, Tendencies<T>& slow) {
+        compute_slow_tendencies_dynamic(bar, slow);
+        for (std::size_t n = 0; n < bar.tracers.size(); ++n) {
+            advect_tracer_rows(bar, slow, n, 0, grid_.ny());
+        }
+    }
+
+    /// The dynamic (non-tracer) part of the slow tendencies. The tracer
+    /// advections are separable because each writes only its own
+    /// slow.tracers[n] and no dynamic kernel (including diffusion) touches
+    /// those arrays; the pipelined multi-domain runner interleaves them
+    /// with the per-tracer y-halo receives (paper Sec. V-A method 1,
+    /// inter-variable pipelining), which is therefore bitwise identical to
+    /// this sequential order.
+    void compute_slow_tendencies_dynamic(const State<T>& bar,
+                                         Tendencies<T>& slow) {
         const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
         const auto vol = static_cast<std::uint64_t>(nx * ny * nz);
         slow.clear();
@@ -145,13 +160,6 @@ class TimeStepper {
                               vol);
             advect_scalar(grid_, fluxes_, bar.rho, bar.rhotheta,
                           slow.rhotheta);
-        }
-        for (std::size_t n = 0; n < bar.tracers.size(); ++n) {
-            KernelScope scope(
-                "advection_" + std::string(name_of(bar.species.at(n))),
-                {/*reads=*/6, /*writes=*/1, 36}, vol);
-            advect_scalar(grid_, fluxes_, bar.rho, bar.tracers[n],
-                          slow.tracers[n]);
         }
         {
             KernelScope scope("coriolis", {/*reads=*/4, /*writes=*/2, 6},
@@ -205,6 +213,21 @@ class TimeStepper {
                               vol);
             pgf_z_buoyancy(grid_, p_pert_, rho_pert_, slow.rhow);
         }
+    }
+
+    /// Advection tendency of tracer n over rows [j0, j1). Cell row j reads
+    /// tracer rows j-2..j+2, so the pipelined runner advances the interior
+    /// rows [halo, ny - halo) before that tracer's y halo lands, and the
+    /// two boundary bands after (paper Sec. V-A methods 1+2). Requires the
+    /// mass fluxes from the dynamic pass.
+    void advect_tracer_rows(const State<T>& bar, Tendencies<T>& slow,
+                            std::size_t n, Index j0, Index j1) {
+        KernelScope scope(
+            "advection_" + std::string(name_of(bar.species.at(n))),
+            {/*reads=*/6, /*writes=*/1, 36},
+            static_cast<std::uint64_t>(grid_.nx() * (j1 - j0) * grid_.nz()));
+        advect_scalar_rows(grid_, fluxes_, bar.rho, bar.tracers[n],
+                           slow.tracers[n], j0, j1);
     }
 
     // --- hooks for multi-domain (decomposed) orchestration -------------

@@ -1,0 +1,110 @@
+// Outer task layer for rank-parallel execution: a fixed team of worker
+// threads, one per task slot, that repeatedly runs a broadcast job.
+//
+// This sits ABOVE the ThreadPool: the multi-domain runner dispatches one
+// long-lived task per rank onto a TaskLayer worker, and each task may in
+// turn issue `parallel_for` j-slab loops against its own per-rank
+// ThreadPool (installed with ThreadPool::ScopedOverride). The separation
+// matters because rank tasks BLOCK mid-flight — they wait on halo
+// channels from neighbor ranks — so they must all be resident on their
+// own threads at once; multiplexing them onto a work-sharing pool
+// narrower than the rank count would deadlock (a resident rank would
+// spin on a halo from a rank that never gets a thread).
+//
+// run() publishes the job under the mutex, wakes every worker, and waits
+// for all of them to finish; exceptions thrown by tasks are captured and
+// the first one is rethrown on the calling thread. The mutex/condvars
+// are touched only at job boundaries, never inside a task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace asuca {
+
+class TaskLayer {
+  public:
+    /// Spawn `num_tasks` persistent workers (one per task index).
+    explicit TaskLayer(std::size_t num_tasks) {
+        ASUCA_REQUIRE(num_tasks >= 1, "TaskLayer needs at least one task");
+        threads_.reserve(num_tasks);
+        for (std::size_t t = 0; t < num_tasks; ++t) {
+            threads_.emplace_back([this, t] { worker(t); });
+        }
+    }
+
+    ~TaskLayer() {
+        {
+            std::lock_guard lock(mutex_);
+            stopping_ = true;
+        }
+        cv_work_.notify_all();
+        for (auto& th : threads_) th.join();
+    }
+
+    TaskLayer(const TaskLayer&) = delete;
+    TaskLayer& operator=(const TaskLayer&) = delete;
+
+    std::size_t num_tasks() const { return threads_.size(); }
+
+    /// Run `job(task_index)` on every worker concurrently and wait for all
+    /// of them. The first exception thrown by any task is rethrown here.
+    void run(const std::function<void(std::size_t)>& job) {
+        std::unique_lock lock(mutex_);
+        job_ = &job;
+        remaining_ = threads_.size();
+        error_ = nullptr;
+        ++epoch_;
+        cv_work_.notify_all();
+        cv_done_.wait(lock, [&] { return remaining_ == 0; });
+        job_ = nullptr;
+        if (error_) std::rethrow_exception(error_);
+    }
+
+  private:
+    void worker(std::size_t index) {
+        std::uint64_t seen_epoch = 0;
+        for (;;) {
+            const std::function<void(std::size_t)>* job = nullptr;
+            {
+                std::unique_lock lock(mutex_);
+                cv_work_.wait(lock, [&] {
+                    return stopping_ || epoch_ != seen_epoch;
+                });
+                if (stopping_) return;
+                seen_epoch = epoch_;
+                job = job_;
+            }
+            std::exception_ptr err;
+            try {
+                (*job)(index);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            {
+                std::lock_guard lock(mutex_);
+                if (err && !error_) error_ = err;
+                if (--remaining_ == 0) cv_done_.notify_all();
+            }
+        }
+    }
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    const std::function<void(std::size_t)>* job_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    std::size_t remaining_ = 0;
+    std::exception_ptr error_;
+    bool stopping_ = false;
+};
+
+}  // namespace asuca

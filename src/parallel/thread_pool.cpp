@@ -14,6 +14,9 @@ namespace {
 /// check it and fall back to inline execution.
 thread_local bool t_in_region = false;
 
+/// Per-thread pool override installed by ThreadPool::ScopedOverride.
+thread_local ThreadPool* t_pool_override = nullptr;
+
 /// Thread count requested via ASUCA_NUM_THREADS (0 = unset/invalid).
 std::size_t env_thread_count() {
     const char* env = std::getenv("ASUCA_NUM_THREADS");
@@ -56,10 +59,18 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::in_parallel_region() { return t_in_region; }
 
 ThreadPool& ThreadPool::global() {
+    if (t_pool_override != nullptr) return *t_pool_override;
     auto& holder = global_holder();
     if (!holder) holder = std::make_unique<ThreadPool>();
     return *holder;
 }
+
+ThreadPool::ScopedOverride::ScopedOverride(ThreadPool& pool)
+    : prev_(t_pool_override) {
+    t_pool_override = &pool;
+}
+
+ThreadPool::ScopedOverride::~ScopedOverride() { t_pool_override = prev_; }
 
 void ThreadPool::set_global_threads(std::size_t num_threads) {
     ASUCA_ASSERT(!in_parallel_region(),

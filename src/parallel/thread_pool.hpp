@@ -93,6 +93,24 @@ class ThreadPool {
     /// flight on the old pool.
     static void set_global_threads(std::size_t num_threads);
 
+    /// Route this thread's `global()` (and therefore every `parallel_for`
+    /// it issues) to `pool` while the guard is alive. The multi-domain
+    /// runner gives each rank worker its own sub-pool this way, so rank
+    /// tasks can keep calling the ordinary kernel entry points: their
+    /// j-slab loops land on the rank's pool (or run inline when the pool
+    /// is single-threaded) instead of colliding on the process pool,
+    /// whose run_region supports only one caller at a time.
+    class ScopedOverride {
+      public:
+        explicit ScopedOverride(ThreadPool& pool);
+        ~ScopedOverride();
+        ScopedOverride(const ScopedOverride&) = delete;
+        ScopedOverride& operator=(const ScopedOverride&) = delete;
+
+      private:
+        ThreadPool* prev_;
+    };
+
   private:
     using BodyFn = void (*)(void* ctx, Index begin, Index end);
 
