@@ -3,9 +3,22 @@
 // in-process analog of the paper's multi-GPU MPI runs, Sec. V), then
 // verify the two agree to machine precision.
 //
-//   ./examples/decomposed_run [px py steps]
+//   ./examples/decomposed_run [px py steps] [--inject-fault=KIND]
+//                             [--deadline-ms=N]
+//
+// With --inject-fault the runner executes under the resilience policy
+// (guarded channels, watchdog, rollback-and-replay) and a single fault of
+// KIND is injected into rank 1 at step 1:
+//   nan    — corrupt one prognostic value (transient: recovered, bitwise)
+//   halo   — flip a bit of a posted halo strip (transient: recovered)
+//   delay  — slow one halo post by deadline/4 (tolerated, no recovery)
+//   stall  — hang the rank past the deadline (fatal: every rank exits
+//            cleanly with a rank-attributed error; success is the clean,
+//            attributed termination, not a bitwise result)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/cluster/multidomain.hpp"
 #include "src/core/diagnostics.hpp"
@@ -14,9 +27,23 @@
 using namespace asuca;
 
 int main(int argc, char** argv) {
-    const Index px = argc > 1 ? std::atoll(argv[1]) : 2;
-    const Index py = argc > 2 ? std::atoll(argv[2]) : 2;
-    const int steps = argc > 3 ? std::atoi(argv[3]) : 5;
+    std::string fault;
+    long long deadline_ms = 2000;
+    Index pos[2] = {2, 2};
+    int steps = 5;
+    int n_pos = 0;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strncmp(argv[a], "--inject-fault=", 15) == 0) {
+            fault = argv[a] + 15;
+        } else if (std::strncmp(argv[a], "--deadline-ms=", 14) == 0) {
+            deadline_ms = std::atoll(argv[a] + 14);
+        } else if (n_pos < 2) {
+            pos[n_pos++] = std::atoll(argv[a]);
+        } else {
+            steps = std::atoi(argv[a]);
+        }
+    }
+    const Index px = pos[0], py = pos[1];
 
     auto cfg = scenarios::mountain_wave_config<double>(32, 16, 24);
     ASUCA_REQUIRE(cfg.grid.nx % px == 0 && cfg.grid.ny % py == 0,
@@ -31,14 +58,70 @@ int main(int argc, char** argv) {
     for (int n = 0; n < steps; ++n) ref.stepper().step(ref.state());
     t_single.stop();
 
-    // Decomposed run from the same initial state.
+    // Decomposed run from the same initial state. With a fault requested,
+    // run the concurrent executor under the resilience policy.
+    cluster::MultiDomainConfig md;
+    if (!fault.empty()) {
+        using resilience::FaultKind;
+        md.overlap = cluster::OverlapMode::Split;
+        md.resilience.enabled = true;
+        md.resilience.checkpoint_interval = 1;
+        md.resilience.halo_deadline =
+            std::chrono::milliseconds(deadline_ms);
+        resilience::Fault f;
+        f.rank = px * py > 1 ? 1 : 0;
+        f.step = steps > 1 ? 1 : 0;
+        if (fault == "nan") {
+            f.kind = FaultKind::FieldNaN;
+            f.var = VarId::RhoTheta;
+            f.i = 2;
+            f.j = 2;
+            f.k = 2;
+        } else if (fault == "halo") {
+            f.kind = FaultKind::HaloCorrupt;
+        } else if (fault == "delay") {
+            f.kind = FaultKind::HaloDelay;
+            f.delay = std::chrono::milliseconds(deadline_ms / 4);
+        } else if (fault == "stall") {
+            f.kind = FaultKind::RankStall;
+            f.delay = std::chrono::milliseconds(2 * deadline_ms);
+        } else {
+            std::fprintf(stderr,
+                         "unknown --inject-fault=%s "
+                         "(nan|halo|delay|stall)\n",
+                         fault.c_str());
+            return 2;
+        }
+        md.resilience.faults.push_back(f);
+        std::printf("injecting %s into rank %lld at step %lld "
+                    "(halo deadline %lld ms)\n",
+                    resilience::fault_kind_name(f.kind), (long long)f.rank,
+                    f.step, deadline_ms);
+    }
     cluster::MultiDomainRunner<double> runner(cfg.grid, px, py, cfg.species,
-                                              cfg.stepper);
+                                              cfg.stepper, md);
     runner.scatter(initial);
     Timer t_multi;
     t_multi.start();
-    for (int n = 0; n < steps; ++n) runner.step();
+    if (fault == "stall") {
+        // A stalled rank is FATAL by design: the deadline fires, every
+        // channel is poisoned, and all ranks exit with a rank-attributed
+        // error instead of hanging. Demonstrate exactly that.
+        try {
+            runner.advance(steps);
+            std::printf("ERROR: stalled rank was not detected\n");
+            return 1;
+        } catch (const Error& e) {
+            t_multi.stop();
+            std::printf("all ranks terminated cleanly:\n  %s\n", e.what());
+            return 0;
+        }
+    }
+    runner.advance(steps);
     t_multi.stop();
+    if (!runner.recovery_log().empty()) {
+        std::printf("recovery log: %s\n", runner.recovery_log().c_str());
+    }
 
     Grid<double> grid(cfg.grid);
     State<double> gathered(grid, cfg.species);

@@ -24,10 +24,23 @@
 // Because both passes copy the same cells from the same source cells as
 // the lockstep code, a channel-exchanged run is bitwise identical to a
 // lockstep run (validated in tests/test_multidomain_overlap.cpp).
+//
+// Failure detection (the resilience subsystem, PR 4): a channel can be
+// GUARDED, which changes the infinite futex waits into bounded polling
+// waits with a configurable deadline, attaches an integrity word
+// (sequence number + FNV-1a checksum over the pack buffer) to every
+// message, and supports POISONING — marking the channel dead so every
+// current and future wait fails immediately. A guarded wait that fails
+// throws HaloFaultError carrying the channel identity and a suspect
+// rank, so the runner can attribute the failure instead of hanging.
+// Unguarded channels keep the original futex path and zero extra cost.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -56,6 +69,81 @@ inline void backoff_wait(const std::atomic<std::uint64_t>& counter,
     }
 }
 
+/// Deadline variant: yield-spin, then poll with short sleeps until
+/// `ready` or the deadline expires. Returns the final `ready()` verdict.
+/// Polling (instead of the futex) is deliberate: std::atomic::wait has no
+/// timed form, and a poisoned channel must be able to release a waiter
+/// without the producer ever touching the counters.
+template <class Pred>
+inline bool backoff_wait_for(Pred ready, std::chrono::nanoseconds deadline) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int spin = 0; !ready(); ++spin) {
+        if (spin < 64) {
+            std::this_thread::yield();
+            continue;
+        }
+        if (std::chrono::steady_clock::now() - t0 >= deadline) {
+            return ready();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    return true;
+}
+
+/// What a guarded channel operation detected.
+enum class HaloFault {
+    None,
+    Timeout,   ///< deadline expired while waiting on the peer
+    Corrupt,   ///< integrity word mismatch (sequence or checksum)
+    Poisoned,  ///< channel was poisoned by a failing rank
+};
+
+inline const char* halo_fault_name(HaloFault f) {
+    switch (f) {
+        case HaloFault::None: return "none";
+        case HaloFault::Timeout: return "timeout";
+        case HaloFault::Corrupt: return "corrupt";
+        case HaloFault::Poisoned: return "poisoned";
+    }
+    return "unknown";
+}
+
+inline const char* side_name(int side) {
+    switch (side) {
+        case 0: return "west";
+        case 1: return "east";
+        case 2: return "south";
+        case 3: return "north";
+    }
+    return "?";
+}
+
+/// Structured failure verdict from a guarded channel: which channel
+/// (owner rank + side), which message, what went wrong, and which rank
+/// is the likely culprit (the producer for receive-side faults, the
+/// consumer for post-side backpressure timeouts).
+class HaloFaultError : public Error {
+  public:
+    HaloFaultError(HaloFault fault_kind, Index owner, Index peer,
+                   Index suspect, int side, std::uint64_t seq,
+                   const std::string& what)
+        : Error(what), fault(fault_kind), owner_rank(owner), peer_rank(peer),
+          suspect_rank(suspect), side(side), sequence(seq) {}
+
+    HaloFault fault;
+    Index owner_rank;    ///< rank whose halo this channel feeds
+    Index peer_rank;     ///< producing rank of the channel
+    Index suspect_rank;  ///< rank most likely at fault
+    int side;
+    std::uint64_t sequence;
+};
+
+/// Guard configuration shared by all channels of an exchanger.
+struct ChannelGuard {
+    std::chrono::nanoseconds deadline = std::chrono::seconds(5);
+    bool integrity = true;  ///< sequence + checksum verification
+};
+
 /// SPSC double-buffered message channel. The producer and consumer must
 /// each be a single thread (they may be the same thread, e.g. the
 /// periodic self-neighbor of a 1-wide decomposition). Message sizes may
@@ -66,32 +154,99 @@ class HaloChannel {
   public:
     static constexpr std::uint64_t kSlots = 2;
 
+    /// Switch to guarded (deadline + integrity) mode. Must be called
+    /// while no thread is using the channel; `owner`/`peer`/`side`
+    /// identify the channel in failure verdicts.
+    void enable_guard(const ChannelGuard& guard, Index owner, Index peer,
+                      int side) {
+        guard_ = guard;
+        owner_rank_ = owner;
+        peer_rank_ = peer;
+        side_ = side;
+        guarded_ = true;
+    }
+
+    bool guarded() const { return guarded_; }
+
+    /// Mark the channel dead: every guarded wait (current and future) on
+    /// it fails with HaloFault::Poisoned. Only meaningful in guarded
+    /// mode (unguarded waiters block on the futex and are not woken).
+    void poison() { poisoned_.store(true, std::memory_order_release); }
+    bool poisoned() const {
+        return poisoned_.load(std::memory_order_acquire);
+    }
+
     /// Producer: claim the slot buffer for the next message, blocking
     /// (backoff wait) while both slots hold unconsumed messages.
     std::vector<T>& begin_post(std::size_t size) {
-        backoff_wait(consumed_, consumed_.load(std::memory_order_acquire),
-                     [&] {
-                         return next_post_ - consumed_.load(
-                                                 std::memory_order_acquire) <
-                                kSlots;
-                     });
+        auto have_slot = [&] {
+            return next_post_ -
+                       consumed_.load(std::memory_order_acquire) <
+                   kSlots;
+        };
+        if (guarded_) {
+            const bool ok = backoff_wait_for(
+                [&] { return poisoned() || have_slot(); }, guard_.deadline);
+            if (poisoned()) throw_fault(HaloFault::Poisoned, owner_rank_);
+            if (!ok) {
+                // Backpressure timeout: the consumer (the owner of this
+                // channel) stopped draining.
+                throw_fault(HaloFault::Timeout, owner_rank_);
+            }
+        } else {
+            backoff_wait(consumed_,
+                         consumed_.load(std::memory_order_acquire),
+                         have_slot);
+        }
         auto& slot = slots_[next_post_ % kSlots];
         slot.resize(size);
         return slot;
     }
 
     /// Producer: publish the message packed into the begin_post() buffer.
-    void finish_post() {
+    /// In guarded mode the integrity word is computed first; passing
+    /// `corrupt_in_flight` flips one payload bit AFTER the checksum —
+    /// the fault injector's model of in-transit corruption, guaranteed
+    /// to be detected by the consumer's verification.
+    void finish_post(bool corrupt_in_flight = false) {
+        auto& slot = slots_[next_post_ % kSlots];
+        if (guarded_ && guard_.integrity) {
+            meta_seq_[next_post_ % kSlots] = next_post_;
+            meta_sum_[next_post_ % kSlots] = checksum(slot);
+        }
+        if (corrupt_in_flight && !slot.empty()) {
+            flip_low_bit(slot[slot.size() / 2]);
+        }
         ++next_post_;
         posted_.store(next_post_, std::memory_order_release);
         posted_.notify_one();
     }
 
-    /// Consumer: wait (backoff) for the next message and return it.
+    /// Consumer: wait (backoff) for the next message and return it. A
+    /// guarded channel verifies the integrity word and fails the wait at
+    /// the deadline instead of blocking forever.
     const std::vector<T>& begin_receive() {
-        backoff_wait(posted_, posted_.load(std::memory_order_acquire), [&] {
+        auto have_msg = [&] {
             return posted_.load(std::memory_order_acquire) > next_receive_;
-        });
+        };
+        if (guarded_) {
+            const bool ok = backoff_wait_for(
+                [&] { return poisoned() || have_msg(); }, guard_.deadline);
+            if (poisoned()) throw_fault(HaloFault::Poisoned, peer_rank_);
+            if (!ok) {
+                // The producer (peer) missed its deadline.
+                throw_fault(HaloFault::Timeout, peer_rank_);
+            }
+            const auto& slot = slots_[next_receive_ % kSlots];
+            if (guard_.integrity &&
+                (meta_seq_[next_receive_ % kSlots] != next_receive_ ||
+                 meta_sum_[next_receive_ % kSlots] != checksum(slot))) {
+                throw_fault(HaloFault::Corrupt, peer_rank_);
+            }
+            return slot;
+        }
+        backoff_wait(posted_, posted_.load(std::memory_order_acquire),
+                     have_msg);
         return slots_[next_receive_ % kSlots];
     }
 
@@ -110,11 +265,53 @@ class HaloChannel {
     }
 
   private:
+    /// FNV-1a over the raw payload bytes — the "cheap integrity word".
+    static std::uint64_t checksum(const std::vector<T>& buf) {
+        std::uint64_t h = 1469598103934665603ull;
+        const auto* p = reinterpret_cast<const unsigned char*>(buf.data());
+        for (std::size_t n = buf.size() * sizeof(T); n > 0; --n, ++p) {
+            h ^= *p;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+
+    static void flip_low_bit(T& v) {
+        unsigned char bytes[sizeof(T)];
+        std::memcpy(bytes, &v, sizeof(T));
+        bytes[0] ^= 1u;  // lowest mantissa bit: silent without a checksum
+        std::memcpy(&v, bytes, sizeof(T));
+    }
+
+    [[noreturn]] void throw_fault(HaloFault fault, Index suspect) const {
+        const std::uint64_t seq =
+            fault == HaloFault::Timeout && suspect == owner_rank_
+                ? next_post_
+                : next_receive_;
+        std::string what = std::string("halo channel ") +
+                           halo_fault_name(fault) + ": rank " +
+                           std::to_string(owner_rank_) + " " +
+                           side_name(side_) + " channel (producer rank " +
+                           std::to_string(peer_rank_) + "), message #" +
+                           std::to_string(seq) + ", suspect rank " +
+                           std::to_string(suspect);
+        throw HaloFaultError(fault, owner_rank_, peer_rank_, suspect, side_,
+                             seq, what);
+    }
+
     std::vector<T> slots_[kSlots];
+    std::uint64_t meta_seq_[kSlots] = {0, 0};  ///< integrity: sequence
+    std::uint64_t meta_sum_[kSlots] = {0, 0};  ///< integrity: checksum
     std::atomic<std::uint64_t> posted_{0};    ///< release by producer
     std::atomic<std::uint64_t> consumed_{0};  ///< release by consumer
+    std::atomic<bool> poisoned_{false};
     std::uint64_t next_post_ = 0;     ///< producer-local sequence
     std::uint64_t next_receive_ = 0;  ///< consumer-local sequence
+    bool guarded_ = false;
+    ChannelGuard guard_;
+    Index owner_rank_ = -1;
+    Index peer_rank_ = -1;
+    int side_ = -1;
 };
 
 /// All channels of a px x py periodic decomposition plus the pack/unpack
@@ -132,16 +329,63 @@ class HaloExchanger {
         : px_(px), py_(py), nxl_(nxl), nyl_(nyl),
           channels_(static_cast<std::size_t>(px * py) * 4) {}
 
+    /// Put every channel into guarded mode (deadlines + integrity) and
+    /// allocate the per-rank fault-arming slots. Call before any
+    /// concurrent use.
+    void enable_guard(const ChannelGuard& guard) {
+        for (Index r = 0; r < px_ * py_; ++r) {
+            for (int s = 0; s < 4; ++s) {
+                channel(r, static_cast<Side>(s))
+                    .enable_guard(guard, r,
+                                  producer_of(r, static_cast<Side>(s)), s);
+            }
+        }
+        arms_.assign(static_cast<std::size_t>(px_ * py_), ArmState{});
+    }
+
+    /// Poison every channel: all guarded waits across all ranks fail
+    /// immediately, so no rank can hang on a dead peer. Idempotent and
+    /// callable from any thread.
+    void poison_all() {
+        for (auto& ch : channels_) ch.poison();
+    }
+
+    /// The producing rank of channel (r, side).
+    Index producer_of(Index r, Side side) const {
+        switch (side) {
+            case West: return neighbor(r, -1, 0);
+            case East: return neighbor(r, +1, 0);
+            case South: return neighbor(r, 0, -1);
+            case North: return neighbor(r, 0, +1);
+        }
+        return r;
+    }
+
+    // --- fault injection arming (resilience tests/benchmarks) ---------
+    // Armed per PRODUCING rank and consumed by that rank's own thread on
+    // its next post (single-writer per slot: no synchronization needed).
+
+    /// Corrupt one bit of the next strip rank `r` posts (after the
+    /// checksum is computed, so the consumer detects it).
+    void arm_corrupt(Index r) { arms_.at(static_cast<std::size_t>(r)).corrupt = true; }
+    /// Delay rank `r`'s next post by `d` (models a slow link).
+    void arm_delay(Index r, std::chrono::nanoseconds d) {
+        arms_.at(static_cast<std::size_t>(r)).delay = d;
+    }
+
     /// Pack and post both x-direction strips of `a` (owned by rank r):
     /// the westernmost columns feed the west neighbor's EAST halo, the
     /// easternmost columns feed the east neighbor's WEST halo.
     void post_x(Index r, const Array3<T>& a) {
         const Index h = a.halo();
         const Index sx = a.nx() - nxl_;  // 1 for x-staggered fields
+        take_delay(r);
         // West edge -> west neighbor's East-side channel.
-        pack_cols(channel(neighbor(r, -1, 0), East), a, 0, h + sx);
+        pack_cols(channel(neighbor(r, -1, 0), East), a, 0, h + sx,
+                  take_corrupt(r));
         // East edge -> east neighbor's West-side channel.
-        pack_cols(channel(neighbor(r, +1, 0), West), a, nxl_ - h, nxl_);
+        pack_cols(channel(neighbor(r, +1, 0), West), a, nxl_ - h, nxl_,
+                  false);
     }
 
     /// Receive both x-direction strips into rank r's halos.
@@ -158,8 +402,11 @@ class HaloExchanger {
     void post_y(Index r, const Array3<T>& a) {
         const Index h = a.halo();
         const Index sy = a.ny() - nyl_;
-        pack_rows(channel(neighbor(r, 0, -1), North), a, 0, h + sy);
-        pack_rows(channel(neighbor(r, 0, +1), South), a, nyl_ - h, nyl_);
+        take_delay(r);
+        pack_rows(channel(neighbor(r, 0, -1), North), a, 0, h + sy,
+                  take_corrupt(r));
+        pack_rows(channel(neighbor(r, 0, +1), South), a, nyl_ - h, nyl_,
+                  false);
     }
 
     /// Receive both y-direction strips into rank r's halos.
@@ -194,9 +441,32 @@ class HaloExchanger {
     }
 
   private:
+    struct ArmState {
+        bool corrupt = false;
+        std::chrono::nanoseconds delay{0};
+    };
+
+    bool take_corrupt(Index r) {
+        if (arms_.empty()) return false;
+        auto& arm = arms_[static_cast<std::size_t>(r)];
+        const bool c = arm.corrupt;
+        arm.corrupt = false;
+        return c;
+    }
+
+    void take_delay(Index r) {
+        if (arms_.empty()) return;
+        auto& arm = arms_[static_cast<std::size_t>(r)];
+        if (arm.delay.count() > 0) {
+            const auto d = arm.delay;
+            arm.delay = std::chrono::nanoseconds{0};
+            std::this_thread::sleep_for(d);
+        }
+    }
+
     /// Columns [i0, i1) of `a`, all interior rows, full padded k range.
     void pack_cols(HaloChannel<T>& ch, const Array3<T>& a, Index i0,
-                   Index i1) {
+                   Index i1, bool corrupt) {
         const Index h = a.halo();
         const Index ny = a.ny(), nz = a.nz();
         auto& buf = ch.begin_post(static_cast<std::size_t>(
@@ -205,7 +475,7 @@ class HaloExchanger {
         for (Index j = 0; j < ny; ++j)
             for (Index k = -h; k < nz + h; ++k)
                 for (Index i = i0; i < i1; ++i) buf[n++] = a(i, j, k);
-        ch.finish_post();
+        ch.finish_post(corrupt);
     }
 
     /// Unpack into columns [i0, i1) (halo side), same traversal order.
@@ -225,7 +495,7 @@ class HaloExchanger {
 
     /// Rows [j0, j1) of `a`, FULL padded i range, full padded k range.
     void pack_rows(HaloChannel<T>& ch, const Array3<T>& a, Index j0,
-                   Index j1) {
+                   Index j1, bool corrupt) {
         const Index h = a.halo();
         const Index nx = a.nx(), nz = a.nz();
         auto& buf = ch.begin_post(static_cast<std::size_t>(
@@ -234,7 +504,7 @@ class HaloExchanger {
         for (Index j = j0; j < j1; ++j)
             for (Index k = -h; k < nz + h; ++k)
                 for (Index i = -h; i < nx + h; ++i) buf[n++] = a(i, j, k);
-        ch.finish_post();
+        ch.finish_post(corrupt);
     }
 
     void unpack_rows(HaloChannel<T>& ch, Array3<T>& a, Index j0, Index j1) {
@@ -253,6 +523,7 @@ class HaloExchanger {
 
     Index px_, py_, nxl_, nyl_;
     std::vector<HaloChannel<T>> channels_;
+    std::vector<ArmState> arms_;  ///< per-rank injection arming (guarded)
 };
 
 }  // namespace asuca::cluster

@@ -32,17 +32,23 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/cluster/halo_channel.hpp"
 #include "src/core/timestepper.hpp"
 #include "src/grid/grid.hpp"
+#include "src/io/checkpoint.hpp"
 #include "src/parallel/task_layer.hpp"
 #include "src/parallel/thread_pool.hpp"
+#include "src/resilience/fault_injector.hpp"
+#include "src/resilience/watchdog.hpp"
 
 namespace asuca::cluster {
 
@@ -53,11 +59,33 @@ enum class OverlapMode {
     SplitPipeline  ///< + inter-variable tracer pipelining (method 1)
 };
 
+/// Fault detection + recovery policy of the runner (the resilience
+/// subsystem). Disabled by default: the executors behave exactly as
+/// before — infinite futex waits, no integrity words, no snapshots —
+/// and stay bitwise identical to the seed behavior at zero extra cost.
+struct ResilienceConfig {
+    bool enabled = false;
+    /// Long steps between in-memory rank snapshots (rollback points).
+    long long checkpoint_interval = 1;
+    /// Consecutive rollbacks tolerated before a fault is declared
+    /// persistent (fatal).
+    int max_retries = 3;
+    /// Guarded-channel deadline: a peer that neither posts nor drains
+    /// within it fails the run with a rank-attributed error.
+    std::chrono::nanoseconds halo_deadline = std::chrono::seconds(5);
+    /// Sequence + checksum verification of every halo message.
+    bool halo_integrity = true;
+    resilience::WatchdogConfig watchdog;
+    /// Injected faults (tests / benchmarks); empty in production.
+    resilience::FaultPlan faults;
+};
+
 struct MultiDomainConfig {
     OverlapMode overlap = OverlapMode::None;
     /// Threads in each rank's private ThreadPool (concurrent modes). 1
     /// means the rank's j-slab loops run inline on its task thread.
     std::size_t threads_per_rank = 1;
+    ResilienceConfig resilience;
 };
 
 template <class T>
@@ -110,14 +138,50 @@ class MultiDomainRunner {
                     std::max<std::size_t>(1, mdcfg_.threads_per_rank)));
             }
         }
+        const ResilienceConfig& rc = mdcfg_.resilience;
+        if (!rc.enabled) {
+            ASUCA_REQUIRE(rc.faults.empty(),
+                          "fault plan provided but resilience is disabled");
+        } else {
+            ASUCA_REQUIRE(rc.checkpoint_interval >= 1 && rc.max_retries >= 0,
+                          "bad resilience config");
+            injector_ = resilience::FaultInjector(rc.faults);
+            watchdog_ = resilience::Watchdog<T>(rc.watchdog);
+            if (mdcfg_.overlap == OverlapMode::None) {
+                // The lockstep executor has no channels and no rank
+                // workers: only field faults are meaningful there.
+                using resilience::FaultKind;
+                for (const auto& f : rc.faults) {
+                    ASUCA_REQUIRE(f.kind == FaultKind::FieldNaN ||
+                                      f.kind == FaultKind::FieldInf ||
+                                      f.kind == FaultKind::FieldBitFlip,
+                                  "halo/rank faults need a concurrent "
+                                  "overlap mode");
+                }
+            } else {
+                exchanger_->enable_guard(
+                    ChannelGuard{rc.halo_deadline, rc.halo_integrity});
+            }
+        }
     }
 
     Index rank_count() const { return px_ * py_; }
     State<T>& rank_state(Index r) { return ranks_[size_t(r)]->state; }
+    const State<T>& rank_state(Index r) const {
+        return ranks_[size_t(r)]->state;
+    }
     const Grid<T>& rank_grid(Index r) const {
         return ranks_[size_t(r)]->grid;
     }
     OverlapMode overlap_mode() const { return mdcfg_.overlap; }
+    long long step_index() const { return step_index_; }
+    /// Human-readable trace of injections, rollbacks and replays.
+    const std::string& recovery_log() const { return recovery_log_; }
+    /// Watchdog findings of the most recent advance() health scan.
+    const resilience::HealthReport& last_health_report() const {
+        return last_report_;
+    }
+    resilience::FaultInjector& injector() { return injector_; }
 
     /// Observer invoked after every step(), when all rank states are
     /// final and exchanged — the decomposed counterpart of
@@ -172,14 +236,119 @@ class MultiDomainRunner {
         }
     }
 
-    /// One long step on every rank.
+    /// One long step on every rank. No fault handling: a detected fault
+    /// propagates as an exception. The resilient driver is advance().
     void step() {
-        if (mdcfg_.overlap == OverlapMode::None) {
-            step_lockstep();
-        } else {
-            step_concurrent();
-        }
+        step_impl();
+        ++step_index_;
         if (step_observer_) step_observer_(*this);
+    }
+
+    /// Advance `n_steps` long steps under the resilience policy:
+    /// periodic in-memory snapshots, injected-fault hooks, a per-step
+    /// watchdog scan, rollback-and-replay on transient faults and a
+    /// rank-attributed abort on fatal ones. The step observer fires only
+    /// on COMMITTED steps (never on a step that is about to be rolled
+    /// back), so observers see exactly the same sequence of states as a
+    /// fault-free run. With resilience disabled this is n plain step()s.
+    void advance(long long n_steps) {
+        const ResilienceConfig& rc = mdcfg_.resilience;
+        if (!rc.enabled) {
+            for (long long s = 0; s < n_steps; ++s) step();
+            return;
+        }
+        const bool track_mass = watchdog_.config().mass_drift_tol > 0.0;
+        if (track_mass && !mass_init_) {
+            mass_baseline_ = global_mass();
+            mass_init_ = true;
+        }
+        if (snapshot_.empty()) take_snapshot();
+        const long long target = step_index_ + n_steps;
+        int retries = 0;
+        while (step_index_ < target) {
+            try {
+                step_impl();
+            } catch (...) {
+                const FailureVerdict v = classify_failure();
+                ASUCA_REQUIRE(!v.fatal,
+                              "multi-domain step " << step_index_
+                                                   << " failed: " << v.what);
+                ++retries;
+                ASUCA_REQUIRE(retries <= rc.max_retries,
+                              "transient fault persists after "
+                                  << retries << " attempts: " << v.what);
+                rollback(v.what);
+                continue;
+            }
+            // Injected field corruption models a bad write DURING the
+            // step: it lands before the health scan, so detection and
+            // recovery exercise exactly the real-fault path.
+            injector_.apply_field_faults(
+                step_index_, rank_count(),
+                [&](Index r) -> State<T>& { return rank_state(r); },
+                &recovery_log_);
+            resilience::HealthReport report;
+            for (Index r = 0; r < rank_count(); ++r) {
+                watchdog_.scan(rank_grid(r), rank_state(r), cfg_.dt, r,
+                               step_index_, report);
+            }
+            double mass = 0.0;
+            if (track_mass) {
+                mass = global_mass();
+                watchdog_.check_mass(mass, mass_baseline_, 0, step_index_,
+                                     report);
+            }
+            if (!report.healthy()) {
+                last_report_ = report;
+                ++retries;
+                ASUCA_REQUIRE(retries <= rc.max_retries,
+                              "watchdog fault persists after "
+                                  << retries << " attempts:\n"
+                                  << report.to_string());
+                rollback("watchdog: " + report.findings.front().check);
+                continue;
+            }
+            last_report_ = std::move(report);
+            if (track_mass) mass_baseline_ = mass;
+            ++step_index_;
+            retries = 0;
+            if (step_observer_) step_observer_(*this);
+            if (step_index_ - snapshot_step_ >= rc.checkpoint_interval) {
+                take_snapshot();
+            }
+        }
+    }
+
+    /// Checkpoint every rank's full padded state (v2 stream sections
+    /// behind a small decomposition header) for exact multi-domain
+    /// restart: halos included, so a restarted runner replays bitwise.
+    void save_checkpoint(const std::string& path) const {
+        std::ofstream out(path, std::ios::binary);
+        ASUCA_REQUIRE(out.good(), "cannot open checkpoint " << path);
+        const std::int64_t hdr[3] = {px_, py_, step_index_};
+        out.write(reinterpret_cast<const char*>(hdr), sizeof(hdr));
+        for (Index r = 0; r < rank_count(); ++r) {
+            io::save_state(out, rank_state(r), step_time());
+        }
+        ASUCA_REQUIRE(out.good(), "checkpoint write failed: " << path);
+    }
+
+    void load_checkpoint(const std::string& path) {
+        std::ifstream in(path, std::ios::binary);
+        ASUCA_REQUIRE(in.good(), "cannot open checkpoint " << path);
+        std::int64_t hdr[3] = {0, 0, 0};
+        in.read(reinterpret_cast<char*>(hdr), sizeof(hdr));
+        ASUCA_REQUIRE(in.good() && hdr[0] == px_ && hdr[1] == py_,
+                      "checkpoint decomposition "
+                          << hdr[0] << "x" << hdr[1]
+                          << " does not match runner " << px_ << "x" << py_);
+        for (Index r = 0; r < rank_count(); ++r) {
+            io::load_state(in, rank_state(r));
+        }
+        step_index_ = hdr[2];
+        snapshot_.clear();  // stale rollback points
+        snapshot_step_ = step_index_;
+        mass_init_ = false;
     }
 
   private:
@@ -205,6 +374,15 @@ class MultiDomainRunner {
                                       &s.rhow, &s.rhotheta, &s.p};
         for (auto& q : s.tracers) fs.push_back(&q);
         return fs;
+    }
+
+    /// Dispatch one long step to the configured executor.
+    void step_impl() {
+        if (mdcfg_.overlap == OverlapMode::None) {
+            step_lockstep();
+        } else {
+            step_concurrent();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -301,7 +479,30 @@ class MultiDomainRunner {
             // when single-threaded) — the process pool's run_region
             // supports only one caller at a time.
             ThreadPool::ScopedOverride pool_guard(*pools_[ri]);
-            rank_step_program(static_cast<Index>(ri), pipeline);
+            const Index r = static_cast<Index>(ri);
+            try {
+                if (injector_.enabled()) {
+                    const auto stall = injector_.stall(r, step_index_);
+                    if (stall.count() > 0) {
+                        std::this_thread::sleep_for(stall);
+                    }
+                    if (injector_.kill(r, step_index_)) {
+                        throw resilience::InjectedFaultError(r, step_index_);
+                    }
+                    if (injector_.arm_halo_corrupt(r, step_index_)) {
+                        exchanger_->arm_corrupt(r);
+                    }
+                    const auto delay = injector_.halo_delay(r, step_index_);
+                    if (delay.count() > 0) exchanger_->arm_delay(r, delay);
+                }
+                rank_step_program(r, pipeline);
+            } catch (...) {
+                // Any rank failure poisons every channel so no peer stays
+                // blocked on a message that will never come: each rank
+                // unwinds with its own verdict, the driver classifies.
+                exchanger_->poison_all();
+                throw;
+            }
         });
     }
 
@@ -467,6 +668,145 @@ class MultiDomainRunner {
     }
 
     // ------------------------------------------------------------------
+    // Resilience: snapshots, rollback, failure classification.
+    // ------------------------------------------------------------------
+
+    double step_time() const {
+        return static_cast<double>(step_index_) * cfg_.dt;
+    }
+
+    double global_mass() const {
+        double mass = 0.0;
+        for (Index r = 0; r < rank_count(); ++r) {
+            mass += resilience::Watchdog<T>::total_mass(rank_grid(r),
+                                                        rank_state(r));
+        }
+        return mass;
+    }
+
+    /// Serialize every rank's state (full padded arrays, so halos revive
+    /// exactly) into in-memory blobs — the rollback point.
+    void take_snapshot() {
+        snapshot_.assign(static_cast<std::size_t>(rank_count()),
+                         std::string());
+        for (Index r = 0; r < rank_count(); ++r) {
+            std::ostringstream out(std::ios::binary);
+            io::save_state(out, rank_state(r), step_time());
+            snapshot_[size_t(r)] = std::move(out).str();
+        }
+        snapshot_step_ = step_index_;
+        snapshot_mass_ = mass_baseline_;
+    }
+
+    void restore_snapshot() {
+        ASUCA_REQUIRE(!snapshot_.empty(), "no snapshot to roll back to");
+        for (Index r = 0; r < rank_count(); ++r) {
+            std::istringstream in(snapshot_[size_t(r)], std::ios::binary);
+            io::load_state(in, rank_state(r));
+        }
+        step_index_ = snapshot_step_;
+        mass_baseline_ = snapshot_mass_;
+    }
+
+    /// Roll every rank back to the snapshot and reset the exchange
+    /// machinery: a fault unwinds rank programs mid-flight, leaving
+    /// channels poisoned with undrained messages and mismatched sequence
+    /// counters, so the exchanger is rebuilt from scratch (fresh counters,
+    /// guard re-enabled). The replay recomputes the step from a
+    /// byte-identical state with the injected fault already consumed, so
+    /// a recovered run is bitwise identical to a fault-free one.
+    void rollback(const std::string& why) {
+        restore_snapshot();
+        if (exchanger_ != nullptr) rebuild_exchanger();
+        recovery_log_ += "rollback to step " + std::to_string(snapshot_step_) +
+                         " (" + why + "); ";
+    }
+
+    void rebuild_exchanger() {
+        exchanger_ =
+            std::make_unique<HaloExchanger<T>>(px_, py_, nxl_, nyl_);
+        exchanger_->enable_guard(
+            ChannelGuard{mdcfg_.resilience.halo_deadline,
+                         mdcfg_.resilience.halo_integrity});
+    }
+
+    struct FailureVerdict {
+        bool fatal = true;
+        std::string what;
+    };
+
+    /// Decide whether the exception(s) of a failed step are transient
+    /// (recoverable by rollback) or fatal, with rank attribution. With
+    /// concurrent ranks one root cause typically fails several tasks —
+    /// the faulty rank plus peers released by channel poisoning — so all
+    /// task errors are inspected together. Priority: an injected kill or
+    /// a missed deadline is fatal (the rank is gone / unresponsive);
+    /// detected message corruption with no fatal signal is transient;
+    /// poisoned-channel errors are follow-on noise; anything
+    /// unclassified is fatal.
+    FailureVerdict classify_failure() const {
+        std::vector<Index> kill_ranks;
+        std::vector<Index> timeout_suspects;
+        std::string corrupt_detail;
+        std::string other_detail;
+        auto inspect = [&](std::size_t task, const std::exception_ptr& ep) {
+            try {
+                std::rethrow_exception(ep);
+            } catch (const resilience::InjectedFaultError& e) {
+                kill_ranks.push_back(e.rank);
+            } catch (const HaloFaultError& e) {
+                if (e.fault == HaloFault::Timeout) {
+                    timeout_suspects.push_back(e.suspect_rank);
+                } else if (e.fault == HaloFault::Corrupt) {
+                    corrupt_detail += std::string(e.what()) + "; ";
+                }
+                // HaloFault::Poisoned: follow-on noise, ignored.
+            } catch (const std::exception& e) {
+                other_detail += "task " + std::to_string(task) + ": " +
+                                e.what() + "; ";
+            }
+        };
+        if (tasks_ != nullptr && !tasks_->errors().empty()) {
+            for (const auto& [task, ep] : tasks_->errors()) {
+                inspect(task, ep);
+            }
+        } else {
+            inspect(0, std::current_exception());
+        }
+
+        FailureVerdict v;
+        auto join_ranks = [](std::vector<Index>& rs) {
+            std::sort(rs.begin(), rs.end());
+            rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
+            std::string out;
+            for (Index r : rs) {
+                if (!out.empty()) out += ", ";
+                out += std::to_string(r);
+            }
+            return out;
+        };
+        if (!kill_ranks.empty()) {
+            v.fatal = true;
+            v.what = "rank(s) " + join_ranks(kill_ranks) +
+                     " died (injected kill)";
+        } else if (!timeout_suspects.empty()) {
+            v.fatal = true;
+            v.what = "halo deadline missed; suspect rank(s) " +
+                     join_ranks(timeout_suspects);
+        } else if (!other_detail.empty()) {
+            v.fatal = true;
+            v.what = other_detail;
+        } else if (!corrupt_detail.empty()) {
+            v.fatal = false;
+            v.what = "transient halo corruption: " + corrupt_detail;
+        } else {
+            v.fatal = true;
+            v.what = "unclassified failure";
+        }
+        return v;
+    }
+
+    // ------------------------------------------------------------------
     // Shared decomposition helpers.
     // ------------------------------------------------------------------
 
@@ -611,6 +951,17 @@ class MultiDomainRunner {
     std::unique_ptr<HaloExchanger<T>> exchanger_;
     std::vector<std::unique_ptr<ThreadPool>> pools_;
     StepObserver step_observer_;
+    // Resilience machinery (inert when mdcfg_.resilience.enabled is off).
+    resilience::FaultInjector injector_;
+    resilience::Watchdog<T> watchdog_;
+    long long step_index_ = 0;
+    std::vector<std::string> snapshot_;  ///< per-rank serialized states
+    long long snapshot_step_ = 0;
+    double mass_baseline_ = 0.0;
+    double snapshot_mass_ = 0.0;
+    bool mass_init_ = false;
+    resilience::HealthReport last_report_;
+    std::string recovery_log_;
 };
 
 }  // namespace asuca::cluster

@@ -77,10 +77,25 @@ class AsucaModel {
         ASUCA_REQUIRE(kessler_.has_value(), "microphysics disabled");
         return *kessler_;
     }
+    const Kessler<T>& microphysics() const {
+        ASUCA_REQUIRE(kessler_.has_value(), "microphysics disabled");
+        return *kessler_;
+    }
 
     Sedimentation<T>& ice_sedimentation() {
         ASUCA_REQUIRE(ice_sed_.has_value(), "ice sedimentation disabled");
         return *ice_sed_;
+    }
+    const Sedimentation<T>& ice_sedimentation() const {
+        ASUCA_REQUIRE(ice_sed_.has_value(), "ice sedimentation disabled");
+        return *ice_sed_;
+    }
+
+    /// Reset the simulation clock, used when restoring from a checkpoint
+    /// (the stored time/step counter replace the live ones).
+    void set_clock(double time, std::int64_t steps) {
+        time_ = time;
+        steps_ = steps;
     }
 
     /// Attach hourly boundary frames (the paper's Fig. 12 real-data mode);

@@ -37,6 +37,11 @@ class Array2 {
 
     void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+    /// Raw storage including halo rows, row-major with x fastest; used by
+    /// the checkpoint serializer to round-trip surface fields bytewise.
+    T* data() { return data_.data(); }
+    const T* data() const { return data_.data(); }
+
   private:
     Index nx_ = 0;
     Index ny_ = 0;

@@ -1,25 +1,64 @@
-// Binary checkpoint / exact-restart of the model state.
+// Binary checkpoint / exact-restart of the model state (format v2).
 //
 // Production forecast systems restart bit-exactly from checkpoints; this
 // writes every prognostic and reference field (full padded extents, so a
 // restart needs no halo refill) plus shape/species metadata for
 // validation on load.
+//
+// v2 adds a named side-state section after the field arrays, carrying
+// prognostic state that lives OUTSIDE State<T>: accumulated surface
+// precipitation (Kessler and per-species sedimentation accumulators) and
+// the model clock's step counter. A v1 restart silently zeroed all of
+// these; v1 files are now rejected via the version field. Each side entry
+// is (name, tag, payload) with tag 0 = f64 scalar and tag 1 = a full
+// Array2<double> (with halo); names are matched strictly both ways, so a
+// checkpoint from a configuration with different physics enabled fails
+// loudly instead of part-restoring.
+//
+// The serializer core is stream-based (save_state/load_state) so the
+// resilience layer can snapshot rank states into in-memory buffers for
+// rollback-and-replay; save_checkpoint/load_checkpoint are thin file
+// wrappers over it.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/error.hpp"
 #include "src/core/state.hpp"
+#include "src/field/array2.hpp"
 
 namespace asuca::io {
+
+/// Named non-State prognostic side state to round-trip with a checkpoint.
+/// Pointees must outlive the save/load call; load writes through them.
+struct SideState {
+    std::vector<std::pair<std::string, double*>> scalars;
+    std::vector<std::pair<std::string, Array2<double>*>> arrays;
+
+    std::size_t count() const { return scalars.size() + arrays.size(); }
+
+    void add(std::string name, double* value) {
+        scalars.emplace_back(std::move(name), value);
+    }
+    void add(std::string name, Array2<double>* array) {
+        arrays.emplace_back(std::move(name), array);
+    }
+};
 
 namespace detail {
 
 inline constexpr std::uint64_t kMagic = 0x4153554341434b50ull;  // "ASUCACKP"
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;
+
+inline constexpr std::uint8_t kTagScalar = 0;
+inline constexpr std::uint8_t kTagArray2 = 1;
 
 template <class T>
 void write_array(std::ostream& out, const Array3<T>& a) {
@@ -47,14 +86,104 @@ void read_array(std::istream& in, Array3<T>& a) {
     ASUCA_REQUIRE(in.good(), "checkpoint truncated (array data)");
 }
 
+inline void write_side(std::ostream& out, const SideState& side) {
+    const auto n = static_cast<std::uint32_t>(side.count());
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    auto write_name = [&](const std::string& name, std::uint8_t tag) {
+        const auto len = static_cast<std::uint32_t>(name.size());
+        out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+        out.write(name.data(), static_cast<std::streamsize>(len));
+        out.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
+    };
+    for (const auto& [name, value] : side.scalars) {
+        write_name(name, kTagScalar);
+        out.write(reinterpret_cast<const char*>(value), sizeof(double));
+    }
+    for (const auto& [name, array] : side.arrays) {
+        write_name(name, kTagArray2);
+        const std::int64_t meta[3] = {array->nx(), array->ny(),
+                                      array->halo()};
+        out.write(reinterpret_cast<const char*>(meta), sizeof(meta));
+        out.write(reinterpret_cast<const char*>(array->data()),
+                  static_cast<std::streamsize>(array->size() *
+                                               sizeof(double)));
+    }
+}
+
+inline void read_side(std::istream& in, const SideState& side) {
+    std::uint32_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    ASUCA_REQUIRE(in.good(), "checkpoint truncated (side-state count)");
+    ASUCA_REQUIRE(n == side.count(),
+                  "checkpoint carries " << n << " side-state entries, model "
+                                        << "expects " << side.count());
+    std::vector<char> seen(side.count(), 0);
+    for (std::uint32_t e = 0; e < n; ++e) {
+        std::uint32_t len = 0;
+        in.read(reinterpret_cast<char*>(&len), sizeof(len));
+        ASUCA_REQUIRE(in.good() && len <= 4096,
+                      "checkpoint truncated (side-state name)");
+        std::string name(len, '\0');
+        in.read(name.data(), static_cast<std::streamsize>(len));
+        std::uint8_t tag = 0xff;
+        in.read(reinterpret_cast<char*>(&tag), sizeof(tag));
+        ASUCA_REQUIRE(in.good(), "checkpoint truncated (side-state tag)");
+        if (tag == kTagScalar) {
+            double* dst = nullptr;
+            for (std::size_t s = 0; s < side.scalars.size(); ++s) {
+                if (side.scalars[s].first == name) {
+                    ASUCA_REQUIRE(!seen[s], "duplicate side-state entry "
+                                                << name);
+                    seen[s] = 1;
+                    dst = side.scalars[s].second;
+                    break;
+                }
+            }
+            ASUCA_REQUIRE(dst != nullptr,
+                          "checkpoint side-state scalar '"
+                              << name << "' unknown to this configuration");
+            in.read(reinterpret_cast<char*>(dst), sizeof(double));
+        } else if (tag == kTagArray2) {
+            Array2<double>* dst = nullptr;
+            for (std::size_t s = 0; s < side.arrays.size(); ++s) {
+                if (side.arrays[s].first == name) {
+                    const std::size_t slot = side.scalars.size() + s;
+                    ASUCA_REQUIRE(!seen[slot], "duplicate side-state entry "
+                                                   << name);
+                    seen[slot] = 1;
+                    dst = side.arrays[s].second;
+                    break;
+                }
+            }
+            ASUCA_REQUIRE(dst != nullptr,
+                          "checkpoint side-state array '"
+                              << name << "' unknown to this configuration");
+            std::int64_t meta[3];
+            in.read(reinterpret_cast<char*>(meta), sizeof(meta));
+            ASUCA_REQUIRE(in.good() && meta[0] == dst->nx() &&
+                              meta[1] == dst->ny() && meta[2] == dst->halo(),
+                          "checkpoint side-state array '"
+                              << name << "' shape does not match the model");
+            in.read(reinterpret_cast<char*>(dst->data()),
+                    static_cast<std::streamsize>(dst->size() *
+                                                 sizeof(double)));
+        } else {
+            ASUCA_REQUIRE(false, "checkpoint side-state entry '"
+                                     << name << "' has unknown tag "
+                                     << static_cast<int>(tag));
+        }
+        ASUCA_REQUIRE(in.good(), "checkpoint truncated (side-state data)");
+    }
+}
+
 }  // namespace detail
 
-/// Write a checkpoint of `state` at simulation time `time`.
+/// Serialize `state` (plus optional side state) at simulation time `time`
+/// to a binary stream. The stream form is what the resilience layer uses
+/// for in-memory rank snapshots.
 template <class T>
-void save_checkpoint(const std::string& path, const State<T>& state,
-                     double time) {
-    std::ofstream out(path, std::ios::binary);
-    ASUCA_REQUIRE(out.good(), "cannot open checkpoint " << path);
+void save_state(std::ostream& out, const State<T>& state, double time,
+                const SideState& side = {}) {
     const std::uint64_t magic = detail::kMagic;
     const std::uint32_t version = detail::kVersion;
     const std::uint32_t elem_size = sizeof(T);
@@ -80,15 +209,15 @@ void save_checkpoint(const std::string& path, const State<T>& state,
     detail::write_array(out, state.rhotheta_ref);
     detail::write_array(out, state.cs2);
     for (const auto& q : state.tracers) detail::write_array(out, q);
-    ASUCA_REQUIRE(out.good(), "checkpoint write failed: " << path);
+    detail::write_side(out, side);
+    ASUCA_REQUIRE(out.good(), "checkpoint stream write failed");
 }
 
-/// Load a checkpoint into `state` (shapes and species must match);
-/// returns the stored simulation time.
+/// Deserialize into `state` (shapes, species and side-state names must
+/// match); returns the stored simulation time.
 template <class T>
-double load_checkpoint(const std::string& path, State<T>& state) {
-    std::ifstream in(path, std::ios::binary);
-    ASUCA_REQUIRE(in.good(), "cannot open checkpoint " << path);
+double load_state(std::istream& in, State<T>& state,
+                  const SideState& side = {}) {
     std::uint64_t magic = 0;
     std::uint32_t version = 0, elem_size = 0, n_tracers = 0;
     double time = 0.0;
@@ -97,10 +226,12 @@ double load_checkpoint(const std::string& path, State<T>& state) {
     in.read(reinterpret_cast<char*>(&elem_size), sizeof(elem_size));
     in.read(reinterpret_cast<char*>(&n_tracers), sizeof(n_tracers));
     in.read(reinterpret_cast<char*>(&time), sizeof(time));
-    ASUCA_REQUIRE(magic == detail::kMagic, "not an ASUCA checkpoint: "
-                                               << path);
+    ASUCA_REQUIRE(magic == detail::kMagic, "not an ASUCA checkpoint");
     ASUCA_REQUIRE(version == detail::kVersion,
-                  "unsupported checkpoint version " << version);
+                  "unsupported checkpoint version "
+                      << version << " (expected " << detail::kVersion
+                      << "; v1 lacks microphysics side state and cannot "
+                      << "restart exactly)");
     ASUCA_REQUIRE(elem_size == sizeof(T),
                   "checkpoint precision (" << elem_size
                                            << " B) does not match model ("
@@ -125,7 +256,74 @@ double load_checkpoint(const std::string& path, State<T>& state) {
     detail::read_array(in, state.rhotheta_ref);
     detail::read_array(in, state.cs2);
     for (auto& q : state.tracers) detail::read_array(in, q);
+    detail::read_side(in, side);
     return time;
+}
+
+/// Write a checkpoint of `state` at simulation time `time`.
+template <class T>
+void save_checkpoint(const std::string& path, const State<T>& state,
+                     double time, const SideState& side = {}) {
+    std::ofstream out(path, std::ios::binary);
+    ASUCA_REQUIRE(out.good(), "cannot open checkpoint " << path);
+    save_state(out, state, time, side);
+    ASUCA_REQUIRE(out.good(), "checkpoint write failed: " << path);
+}
+
+/// Load a checkpoint into `state` (shapes and species must match);
+/// returns the stored simulation time.
+template <class T>
+double load_checkpoint(const std::string& path, State<T>& state,
+                       const SideState& side = {}) {
+    std::ifstream in(path, std::ios::binary);
+    ASUCA_REQUIRE(in.good(), "cannot open checkpoint " << path);
+    return load_state(in, state, side);
+}
+
+/// The complete side state of an AsucaModel-like object: the step counter
+/// plus every enabled precipitation accumulator. Duck-typed on the model
+/// so this header stays independent of src/core/model.hpp; `steps` must
+/// outlive the returned SideState (load writes the restored counter there,
+/// save reads the current one from it).
+template <class Model>
+SideState model_side_state(Model& model, double* steps) {
+    SideState side;
+    side.add("model.steps", steps);
+    if (model.config().microphysics) {
+        side.add("kessler.precip_mm",
+                 &model.microphysics().accumulated_precip());
+        side.add("kessler.precip_rate", &model.microphysics().precip_rate());
+    }
+    if (model.config().ice_sedimentation) {
+        for (std::size_t n = 0; n < model.state().species.count(); ++n) {
+            const Species sp = model.state().species.at(n);
+            if (!has_fall_speed(sp)) continue;
+            if (sp == Species::Rain && model.config().microphysics) continue;
+            side.add(std::string("sedimentation.precip_mm.") +
+                         std::string(name_of(sp)),
+                     &model.ice_sedimentation().accumulated(sp));
+        }
+    }
+    return side;
+}
+
+/// Checkpoint a whole model: state + clock + precipitation accumulators.
+template <class Model>
+void save_model_checkpoint(const std::string& path, Model& model) {
+    double steps = static_cast<double>(model.step_count());
+    const SideState side = model_side_state(model, &steps);
+    save_checkpoint(path, model.state(), model.time(), side);
+}
+
+/// Restore a whole model from a checkpoint written by
+/// save_model_checkpoint; the model configuration (grid, species, enabled
+/// physics) must match the one that wrote it.
+template <class Model>
+void load_model_checkpoint(const std::string& path, Model& model) {
+    double steps = 0.0;
+    const SideState side = model_side_state(model, &steps);
+    const double time = load_checkpoint(path, model.state(), side);
+    model.set_clock(time, static_cast<std::int64_t>(steps));
 }
 
 }  // namespace asuca::io

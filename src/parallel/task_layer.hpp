@@ -23,6 +23,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/error.hpp"
@@ -55,17 +56,35 @@ class TaskLayer {
     std::size_t num_tasks() const { return threads_.size(); }
 
     /// Run `job(task_index)` on every worker concurrently and wait for all
-    /// of them. The first exception thrown by any task is rethrown here.
+    /// of them. Every task's exception is collected (readable afterwards
+    /// via errors(), with the throwing task's index) and the lowest-index
+    /// one is rethrown here.
     void run(const std::function<void(std::size_t)>& job) {
         std::unique_lock lock(mutex_);
         job_ = &job;
         remaining_ = threads_.size();
-        error_ = nullptr;
+        errors_.clear();
         ++epoch_;
         cv_work_.notify_all();
         cv_done_.wait(lock, [&] { return remaining_ == 0; });
         job_ = nullptr;
-        if (error_) std::rethrow_exception(error_);
+        if (!errors_.empty()) {
+            std::size_t first = 0;
+            for (std::size_t n = 1; n < errors_.size(); ++n)
+                if (errors_[n].first < errors_[first].first) first = n;
+            std::rethrow_exception(errors_[first].second);
+        }
+    }
+
+    /// (task index, exception) pairs from the last run(); empty when the
+    /// last job succeeded on every task. The caller that caught run()'s
+    /// rethrow inspects this to attribute the failure — with concurrent
+    /// ranks a single fault typically fails several tasks at once (the
+    /// faulty one plus peers whose channels got poisoned), and recovery
+    /// policy needs to see all of them to pick the root cause.
+    const std::vector<std::pair<std::size_t, std::exception_ptr>>& errors()
+        const {
+        return errors_;
     }
 
   private:
@@ -90,7 +109,7 @@ class TaskLayer {
             }
             {
                 std::lock_guard lock(mutex_);
-                if (err && !error_) error_ = err;
+                if (err) errors_.emplace_back(index, err);
                 if (--remaining_ == 0) cv_done_.notify_all();
             }
         }
@@ -103,7 +122,7 @@ class TaskLayer {
     const std::function<void(std::size_t)>* job_ = nullptr;
     std::uint64_t epoch_ = 0;
     std::size_t remaining_ = 0;
-    std::exception_ptr error_;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
     bool stopping_ = false;
 };
 

@@ -56,6 +56,10 @@ class Kessler {
     /// Accumulated surface precipitation [mm] and latest rate [mm/h].
     const Array2<double>& accumulated_precip() const { return precip_mm_; }
     const Array2<double>& precip_rate() const { return precip_rate_; }
+    /// Mutable views, for the checkpoint serializer: accumulated precip is
+    /// prognostic side state and must survive an exact restart.
+    Array2<double>& accumulated_precip() { return precip_mm_; }
+    Array2<double>& precip_rate() { return precip_rate_; }
 
     /// Apply microphysics over dt (operator-split after dynamics).
     /// Requires Vapor, Cloud and Rain to be active species.

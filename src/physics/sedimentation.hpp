@@ -70,6 +70,11 @@ class Sedimentation {
     const Array2<double>& accumulated(Species s) const {
         return precip_mm_[static_cast<std::size_t>(s)];
     }
+    /// Mutable view, for the checkpoint serializer (accumulated precip is
+    /// prognostic side state).
+    Array2<double>& accumulated(Species s) {
+        return precip_mm_[static_cast<std::size_t>(s)];
+    }
 
     /// Total accumulated precipitation over all species [mm].
     double total_at(Index i, Index j) const {

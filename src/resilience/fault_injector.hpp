@@ -1,0 +1,253 @@
+// Deterministic fault injection for the resilience subsystem.
+//
+// Production NWP ports live or die on loud, localized failure detection
+// (Hybrid Fortran, arXiv:1710.08616; WRF offload, arXiv:2409.07232) —
+// but failure paths that only fire on real hardware faults are untested
+// paths. A FaultInjector carries a fixed per-rank/per-step schedule of
+// faults and fires each one exactly once:
+//
+//   * field faults  — corrupt one value of a rank's prognostic state
+//     (quiet NaN, Inf, or a high-exponent bit flip) after a long step,
+//     applied from the driver thread;
+//   * halo faults   — corrupt one bit of a posted halo strip after its
+//     checksum (detected by the consumer's integrity verification) or
+//     delay a rank's posts (models a slow link);
+//   * rank faults   — stall a rank's TaskLayer worker for a fixed
+//     duration (past the channel deadline: models a hung node) or kill
+//     it outright (throws InjectedFaultError; models a crashed node).
+//
+// The schedule is data (a FaultPlan vector), so runs are fully
+// reproducible: the same plan produces the same fault at the same
+// (rank, step) every time, and `random_plan` derives a plan from a seed
+// deterministically. With an empty plan every query is a null-pointer
+// check in the runner — zero overhead when disabled.
+//
+// Thread-safety contract: each Fault names one rank; rank-thread hooks
+// (stall/kill/halo) are only called by that rank's own worker, and field
+// faults fire on the driver thread after the workers joined, so the
+// `fired` flags need no atomics.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/core/state.hpp"
+
+namespace asuca::resilience {
+
+enum class FaultKind {
+    FieldNaN,     ///< state value := quiet NaN
+    FieldInf,     ///< state value := +Inf
+    FieldBitFlip, ///< flip the top exponent bit of a state value
+    HaloCorrupt,  ///< flip one bit of the rank's next posted halo strip
+    HaloDelay,    ///< delay the rank's next halo post by `delay`
+    RankStall,    ///< sleep the rank's worker for `delay` at step start
+    RankKill,     ///< throw from the rank's worker at step start
+};
+
+inline const char* fault_kind_name(FaultKind k) {
+    switch (k) {
+        case FaultKind::FieldNaN: return "field_nan";
+        case FaultKind::FieldInf: return "field_inf";
+        case FaultKind::FieldBitFlip: return "field_bitflip";
+        case FaultKind::HaloCorrupt: return "halo_corrupt";
+        case FaultKind::HaloDelay: return "halo_delay";
+        case FaultKind::RankStall: return "rank_stall";
+        case FaultKind::RankKill: return "rank_kill";
+    }
+    return "unknown";
+}
+
+/// One scheduled fault. `step` is the long-step index at which it fires.
+struct Fault {
+    FaultKind kind = FaultKind::FieldNaN;
+    Index rank = 0;
+    long long step = 0;
+    VarId var = VarId::RhoTheta;  ///< field faults: which variable
+    Index i = 0, j = 0, k = 0;    ///< field faults: which cell
+    std::chrono::nanoseconds delay{0};  ///< RankStall / HaloDelay
+};
+
+using FaultPlan = std::vector<Fault>;
+
+/// Thrown by a RankKill fault from inside the killed rank's worker.
+class InjectedFaultError : public Error {
+  public:
+    InjectedFaultError(Index rank_idx, long long step_idx)
+        : Error("injected kill: rank " + std::to_string(rank_idx) +
+                " died at step " + std::to_string(step_idx)),
+          rank(rank_idx), step(step_idx) {}
+    Index rank;
+    long long step;
+};
+
+class FaultInjector {
+  public:
+    FaultInjector() = default;
+    explicit FaultInjector(FaultPlan plan)
+        : plan_(std::move(plan)), fired_(plan_.size(), 0) {}
+
+    bool enabled() const { return !plan_.empty(); }
+    const FaultPlan& plan() const { return plan_; }
+
+    int fired_count() const {
+        int n = 0;
+        for (char f : fired_) n += (f != 0);
+        return n;
+    }
+
+    bool contains(FaultKind kind) const {
+        for (const auto& f : plan_)
+            if (f.kind == kind) return true;
+        return false;
+    }
+
+    // --- rank-thread hooks (step start, called by rank `rank` only) ---
+
+    /// Duration to sleep this rank's worker, or zero. Fires at most once.
+    std::chrono::nanoseconds stall(Index rank, long long step) {
+        if (const Fault* f = take(FaultKind::RankStall, rank, step))
+            return f->delay;
+        return std::chrono::nanoseconds{0};
+    }
+
+    /// True when this rank's worker must die now.
+    bool kill(Index rank, long long step) {
+        return take(FaultKind::RankKill, rank, step) != nullptr;
+    }
+
+    /// True when this rank's next halo post must be corrupted.
+    bool arm_halo_corrupt(Index rank, long long step) {
+        return take(FaultKind::HaloCorrupt, rank, step) != nullptr;
+    }
+
+    /// Delay for this rank's next halo post, or zero.
+    std::chrono::nanoseconds halo_delay(Index rank, long long step) {
+        if (const Fault* f = take(FaultKind::HaloDelay, rank, step))
+            return f->delay;
+        return std::chrono::nanoseconds{0};
+    }
+
+    // --- driver-thread hook (after the step's workers joined) ---------
+
+    /// Corrupt every scheduled field value of step `step`. `state_of(r)`
+    /// must return rank r's State<T>&. Returns the number of values
+    /// corrupted; a textual description of each lands in `log`.
+    template <class StateOf>
+    int apply_field_faults(long long step, Index rank_count,
+                           StateOf&& state_of, std::string* log = nullptr) {
+        int n_applied = 0;
+        for (std::size_t n = 0; n < plan_.size(); ++n) {
+            Fault& f = plan_[n];
+            if (fired_[n] || f.step != step) continue;
+            if (f.kind != FaultKind::FieldNaN &&
+                f.kind != FaultKind::FieldInf &&
+                f.kind != FaultKind::FieldBitFlip) {
+                continue;
+            }
+            ASUCA_REQUIRE(f.rank >= 0 && f.rank < rank_count,
+                          "fault plan names rank " << f.rank << " of "
+                                                   << rank_count);
+            auto& state = state_of(f.rank);
+            auto& a = state.field(f.var);
+            ASUCA_REQUIRE(f.i >= 0 && f.i < a.nx() && f.j >= 0 &&
+                              f.j < a.ny() && f.k >= 0 && f.k < a.nz(),
+                          "fault plan cell out of range");
+            corrupt_value(a(f.i, f.j, f.k), f.kind);
+            fired_[n] = 1;
+            ++n_applied;
+            if (log != nullptr) {
+                *log += std::string(fault_kind_name(f.kind)) + " rank " +
+                        std::to_string(f.rank) + " step " +
+                        std::to_string(f.step) + " var " +
+                        name_of(f.var, state.species) + " (" +
+                        std::to_string(f.i) + "," + std::to_string(f.j) +
+                        "," + std::to_string(f.k) + "); ";
+            }
+        }
+        return n_applied;
+    }
+
+  private:
+    template <class T>
+    static void corrupt_value(T& v, FaultKind kind) {
+        switch (kind) {
+            case FaultKind::FieldNaN:
+                v = std::numeric_limits<T>::quiet_NaN();
+                break;
+            case FaultKind::FieldInf:
+                v = std::numeric_limits<T>::infinity();
+                break;
+            case FaultKind::FieldBitFlip: {
+                // Flip the top exponent bit: a survivable-looking value
+                // becomes astronomically large — the CFL/mass checks
+                // must catch what is_finite() alone cannot.
+                unsigned char bytes[sizeof(T)];
+                std::memcpy(bytes, &v, sizeof(T));
+                bytes[sizeof(T) - 1] ^= 0x40u;
+                std::memcpy(&v, bytes, sizeof(T));
+                break;
+            }
+            default: break;
+        }
+    }
+
+    /// Find-and-fire a pending fault of `kind` at (rank, step). The
+    /// rank/kind match is checked BEFORE the fired flag so a rank thread
+    /// never reads a flag another rank's thread may be writing (each flag
+    /// is touched only by its fault's own rank, or by the driver between
+    /// runs).
+    const Fault* take(FaultKind kind, Index rank, long long step) {
+        for (std::size_t n = 0; n < plan_.size(); ++n) {
+            const Fault& f = plan_[n];
+            if (f.kind == kind && f.rank == rank && f.step == step &&
+                !fired_[n]) {
+                fired_[n] = 1;
+                return &f;
+            }
+        }
+        return nullptr;
+    }
+
+    FaultPlan plan_;
+    std::vector<char> fired_;
+};
+
+/// Derive a reproducible plan from a seed: `n_faults` faults of the given
+/// kind spread over ranks [0, rank_count) and steps [0, max_step), cells
+/// inside an nx x ny x nz interior. Same arguments, same plan.
+inline FaultPlan random_plan(std::uint64_t seed, int n_faults,
+                             FaultKind kind, Index rank_count,
+                             long long max_step, Index nx, Index ny,
+                             Index nz,
+                             std::chrono::nanoseconds delay =
+                                 std::chrono::milliseconds(0)) {
+    ASUCA_REQUIRE(rank_count >= 1 && max_step >= 1 && n_faults >= 0,
+                  "bad random_plan arguments");
+    std::mt19937_64 rng(seed);
+    FaultPlan plan;
+    plan.reserve(static_cast<std::size_t>(n_faults));
+    for (int n = 0; n < n_faults; ++n) {
+        Fault f;
+        f.kind = kind;
+        f.rank = static_cast<Index>(rng() % static_cast<std::uint64_t>(
+                                              rank_count));
+        f.step = static_cast<long long>(
+            rng() % static_cast<std::uint64_t>(max_step));
+        f.var = VarId::RhoTheta;
+        f.i = static_cast<Index>(rng() % static_cast<std::uint64_t>(nx));
+        f.j = static_cast<Index>(rng() % static_cast<std::uint64_t>(ny));
+        f.k = static_cast<Index>(rng() % static_cast<std::uint64_t>(nz));
+        f.delay = delay;
+        plan.push_back(f);
+    }
+    return plan;
+}
+
+}  // namespace asuca::resilience

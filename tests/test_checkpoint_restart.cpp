@@ -1,0 +1,201 @@
+// Exact-restart guarantees of the v2 checkpoint format: running N steps,
+// checkpointing, restarting and running M more steps must be bitwise
+// identical to running N+M steps straight through — for a single-domain
+// moist model (including the non-State side state v2 adds: accumulated
+// surface precipitation and the step counter) and for a decomposed
+// MultiDomainRunner (per-rank padded sections, halos included).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "src/cluster/multidomain.hpp"
+#include "src/core/diagnostics.hpp"
+#include "src/core/scenarios.hpp"
+#include "src/io/checkpoint.hpp"
+
+namespace asuca {
+namespace {
+
+namespace fs = std::filesystem;
+
+void expect_bitwise(const State<double>& a, const State<double>& b) {
+    EXPECT_EQ(max_abs_diff(a.rho, b.rho), 0.0);
+    EXPECT_EQ(max_abs_diff(a.rhou, b.rhou), 0.0);
+    EXPECT_EQ(max_abs_diff(a.rhov, b.rhov), 0.0);
+    EXPECT_EQ(max_abs_diff(a.rhow, b.rhow), 0.0);
+    EXPECT_EQ(max_abs_diff(a.rhotheta, b.rhotheta), 0.0);
+    EXPECT_EQ(max_abs_diff(a.p, b.p), 0.0);
+    ASSERT_EQ(a.tracers.size(), b.tracers.size());
+    for (std::size_t n = 0; n < a.tracers.size(); ++n) {
+        EXPECT_EQ(max_abs_diff(a.tracers[n], b.tracers[n]), 0.0);
+    }
+}
+
+double max_abs_diff2(const Array2<double>& a, const Array2<double>& b) {
+    EXPECT_EQ(a.nx(), b.nx());
+    EXPECT_EQ(a.ny(), b.ny());
+    double worst = 0.0;
+    for (Index j = 0; j < a.ny(); ++j)
+        for (Index i = 0; i < a.nx(); ++i)
+            worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+    return worst;
+}
+
+TEST(CheckpointRestart, SingleDomainMoistRoundTripIsBitwise) {
+    const auto path = fs::temp_directory_path() / "asuca_restart_moist.bin";
+
+    auto cfg = scenarios::real_case_config<double>(16, 16, 10);
+    AsucaModel<double> a(cfg);
+    scenarios::init_real_case(a);
+    a.run(4);
+    // Nonzero side state by construction: even if the microphysics has
+    // not rained yet at step 4, the accumulator round-trip is exercised.
+    a.microphysics().accumulated_precip()(2, 3) += 1.25;
+    const double saved_precip = a.microphysics().accumulated_precip()(2, 3);
+    io::save_model_checkpoint(path.string(), a);
+    a.run(3);  // reference continues to step 7
+
+    AsucaModel<double> b(cfg);  // fresh model, different history
+    scenarios::init_real_case(b, /*v_max=*/5.0);
+    b.run(1);
+    io::load_model_checkpoint(path.string(), b);
+    EXPECT_DOUBLE_EQ(b.time(), 16.0);  // 4 steps of dt = 4 s
+    EXPECT_EQ(b.step_count(), 4);
+    EXPECT_DOUBLE_EQ(b.microphysics().accumulated_precip()(2, 3),
+                     saved_precip);
+    b.run(3);
+
+    expect_bitwise(a.state(), b.state());
+    EXPECT_EQ(max_abs_diff2(a.microphysics().accumulated_precip(),
+                            b.microphysics().accumulated_precip()),
+              0.0);
+    EXPECT_EQ(max_abs_diff2(a.microphysics().precip_rate(),
+                            b.microphysics().precip_rate()),
+              0.0);
+    EXPECT_DOUBLE_EQ(a.time(), b.time());
+    EXPECT_EQ(a.step_count(), b.step_count());
+    fs::remove(path);
+}
+
+TEST(CheckpointRestart, RejectsVersion1File) {
+    const auto path = fs::temp_directory_path() / "asuca_restart_v1.bin";
+    {
+        // A well-formed v1 header: correct magic, version = 1.
+        std::ofstream out(path, std::ios::binary);
+        const std::uint64_t magic = 0x4153554341434b50ull;
+        const std::uint32_t version = 1, elem_size = 8, n_tracers = 0;
+        const double time = 0.0;
+        out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+        out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+        out.write(reinterpret_cast<const char*>(&elem_size),
+                  sizeof(elem_size));
+        out.write(reinterpret_cast<const char*>(&n_tracers),
+                  sizeof(n_tracers));
+        out.write(reinterpret_cast<const char*>(&time), sizeof(time));
+    }
+    GridSpec spec;
+    spec.nx = 8;
+    spec.ny = 8;
+    spec.nz = 6;
+    Grid<double> grid(spec);
+    State<double> state(grid, SpeciesSet::dry());
+    try {
+        io::load_checkpoint(path.string(), state);
+        FAIL() << "v1 checkpoint accepted";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+    fs::remove(path);
+}
+
+TEST(CheckpointRestart, RejectsMismatchedSideState) {
+    const auto path = fs::temp_directory_path() / "asuca_restart_side.bin";
+    GridSpec spec;
+    spec.nx = 8;
+    spec.ny = 8;
+    spec.nz = 6;
+    Grid<double> grid(spec);
+    State<double> state(grid, SpeciesSet::dry());
+    double written = 42.0;
+    io::SideState side;
+    side.add("model.steps", &written);
+    io::save_checkpoint(path.string(), state, 0.0, side);
+
+    // Same count, unknown name: must fail loudly, not part-restore.
+    double other = 0.0;
+    io::SideState wrong_name;
+    wrong_name.add("kessler.precip_total", &other);
+    EXPECT_THROW(io::load_checkpoint(path.string(), state, wrong_name),
+                 Error);
+
+    // Entry-count mismatch (a configuration with different physics on).
+    EXPECT_THROW(io::load_checkpoint(path.string(), state), Error);
+
+    // The matching side state round-trips.
+    double restored = 0.0;
+    io::SideState right;
+    right.add("model.steps", &restored);
+    io::load_checkpoint(path.string(), state, right);
+    EXPECT_DOUBLE_EQ(restored, 42.0);
+    fs::remove(path);
+}
+
+TEST(CheckpointRestart, Decomposed2x2RoundTripIsBitwise) {
+    using cluster::MultiDomainConfig;
+    using cluster::MultiDomainRunner;
+    using cluster::OverlapMode;
+    const auto path = fs::temp_directory_path() / "asuca_restart_2x2.bin";
+
+    GridSpec spec;
+    spec.nx = 24;
+    spec.ny = 12;
+    spec.nz = 10;
+    spec.dx = 1000.0;
+    spec.dy = 1000.0;
+    spec.ztop = 10000.0;
+    spec.terrain = bell_mountain(350.0, 3000.0, 12000.0, 6000.0);
+    TimeStepperConfig cfg;
+    cfg.dt = 4.0;
+    cfg.n_short_steps = 6;
+    cfg.diffusion.kh = 10.0;
+    cfg.diffusion.kv = 1.0;
+    cfg.sponge.z_start = 8000.0;
+    const auto species = SpeciesSet::warm_rain();
+
+    Grid<double> grid(spec);
+    State<double> initial(grid, species);
+    initialize_hydrostatic(grid, AtmosphereProfile::constant_n(292.0, 0.011),
+                           8.0, 3.0, initial);
+    set_relative_humidity(
+        grid, [](double z) { return z < 2000.0 ? 0.8 : 0.3; }, initial);
+
+    MultiDomainConfig md;
+    md.overlap = OverlapMode::Split;
+    MultiDomainRunner<double> a(spec, 2, 2, species, cfg, md);
+    a.scatter(initial);
+    for (int n = 0; n < 4; ++n) a.step();
+    a.save_checkpoint(path.string());
+    for (int n = 0; n < 3; ++n) a.step();  // reference: step 7
+    State<double> ref(grid, species);
+    a.gather(ref);
+
+    // A mismatched decomposition must be rejected before any load.
+    MultiDomainRunner<double> wrong(spec, 1, 2, species, cfg, md);
+    EXPECT_THROW(wrong.load_checkpoint(path.string()), Error);
+
+    MultiDomainRunner<double> b(spec, 2, 2, species, cfg, md);
+    b.scatter(initial);  // different history: still at step 0
+    b.load_checkpoint(path.string());
+    EXPECT_EQ(b.step_index(), 4);
+    for (int n = 0; n < 3; ++n) b.step();
+    State<double> got(grid, species);
+    b.gather(got);
+
+    expect_bitwise(ref, got);
+    fs::remove(path);
+}
+
+}  // namespace
+}  // namespace asuca

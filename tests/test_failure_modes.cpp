@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/scenarios.hpp"
+#include "src/resilience/watchdog.hpp"
 
 namespace asuca {
 namespace {
@@ -11,20 +12,33 @@ namespace {
 TEST(FailureModes, AcousticCflViolationIsDetected) {
     // dt = 60 s with a single short step gives a horizontal sound CFL of
     // cs*dtau/dx ~ 340*20/1000 >> 1 on the first RK stage: the explicit
-    // horizontal acoustic update must go unstable, and is_finite() must
-    // catch it (the run-loop abort path the examples rely on).
+    // horizontal acoustic update must go unstable. The watchdog must not
+    // merely notice (the old is_finite() poll) but attribute: a
+    // structured finding naming the check, the field and the cell.
     auto cfg = scenarios::mountain_wave_config<double>(16, 8, 12, false);
     cfg.species = SpeciesSet::dry();
     cfg.stepper.dt = 60.0;
     cfg.stepper.n_short_steps = 1;
     AsucaModel<double> m(cfg);
     m.initialize(AtmosphereProfile::constant_n(288.0, 0.01), 10.0, 0.0);
-    bool detected = false;
-    for (int n = 0; n < 30 && !detected; ++n) {
+
+    resilience::WatchdogConfig wcfg;
+    wcfg.cfl_limit = 2.0;  // RK3 advective stability ends near 1.6
+    const resilience::Watchdog<double> dog(wcfg);
+    resilience::HealthReport report;
+    for (int n = 0; n < 30 && report.healthy(); ++n) {
         m.step();
-        detected = !m.is_finite() || m.max_w() > 1e4;
+        dog.scan(m.grid(), m.state(), cfg.stepper.dt, 0, n, report);
     }
-    EXPECT_TRUE(detected);
+    ASSERT_FALSE(report.healthy());
+    // The blow-up is caught as a non-finite value or a CFL excursion;
+    // either way the finding is localized to a named field and cell.
+    const auto& f = report.findings.front();
+    EXPECT_TRUE(f.check == "nonfinite" || f.check == "cfl");
+    EXPECT_FALSE(f.field.empty());
+    EXPECT_GE(f.i, 0);
+    EXPECT_LT(f.i, 16);
+    EXPECT_NE(f.to_string().find(f.check), std::string::npos);
 }
 
 TEST(FailureModes, StableConfigSurvivesLongIntegration) {
@@ -66,15 +80,31 @@ TEST(FailureModes, TotalWaterBudgetClosesOverFullMoistCycle) {
     EXPECT_NEAR(w1 + fallen, w0, 2e-3 * w0);
 }
 
-TEST(FailureModes, CalmAtmosphereIsBorning) {
+TEST(FailureModes, CalmAtmosphereIsBoring) {
     // Nothing-in, nothing-out: a resting dry atmosphere over flat ground
-    // produces no motion, no rain, no drift over a long run.
+    // produces no motion, no rain, no drift over a long run — and a
+    // fully-armed watchdog agrees it is healthy throughout.
     auto cfg = scenarios::mountain_wave_config<double>(12, 8, 10);
     cfg.grid.terrain = flat_terrain();
     AsucaModel<double> m(cfg);
     m.initialize(AtmosphereProfile::constant_n(300.0, 0.01));
     const double mass0 = m.total_mass();
-    m.run(50);
+
+    resilience::WatchdogConfig wcfg;
+    wcfg.cfl_limit = 2.0;
+    wcfg.mass_drift_tol = 1e-9;
+    const resilience::Watchdog<double> dog(wcfg);
+    const double wmass0 =
+        resilience::Watchdog<double>::total_mass(m.grid(), m.state());
+    resilience::HealthReport report;
+    for (int n = 0; n < 50; ++n) {
+        m.step();
+        dog.scan(m.grid(), m.state(), cfg.stepper.dt, 0, n, report);
+        dog.check_mass(resilience::Watchdog<double>::total_mass(m.grid(),
+                                                               m.state()),
+                       wmass0, 0, n, report);
+    }
+    EXPECT_TRUE(report.healthy()) << report.to_string();
     EXPECT_LT(m.max_w(), 1e-9);
     EXPECT_NEAR(m.total_mass(), mass0, 1e-9 * mass0);
     const auto& precip = m.microphysics().accumulated_precip();
