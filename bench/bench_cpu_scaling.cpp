@@ -68,15 +68,6 @@ RunResult run_at(Int3 mesh, std::size_t threads, int steps) {
     return r;
 }
 
-std::string json_escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\') out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,45 +138,32 @@ int main(int argc, char** argv) {
     }
 
     // Machine-readable output for the driver.
-    const char* path = "BENCH_cpu_scaling.json";
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return 1;
+    io::JsonValue doc;
+    doc.set("config", "mountain_wave_warm_rain");
+    doc.set("mesh",
+            io::JsonArray{io::JsonValue(static_cast<long long>(mesh.x)),
+                          io::JsonValue(static_cast<long long>(mesh.y)),
+                          io::JsonValue(static_cast<long long>(mesh.z))});
+    doc.set("timed_steps", steps);
+    doc.set("hardware_threads", static_cast<long long>(hw));
+    io::JsonArray runs;
+    for (const auto& r : results) {
+        io::JsonValue row;
+        row.set("threads", static_cast<long long>(r.threads));
+        row.set("seconds_per_step", r.seconds_per_step);
+        row.set("speedup", base / r.seconds_per_step);
+        runs.push_back(std::move(row));
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f,
-                 "  \"config\": \"mountain_wave_warm_rain\",\n"
-                 "  \"mesh\": [%lld, %lld, %lld],\n"
-                 "  \"timed_steps\": %d,\n"
-                 "  \"hardware_threads\": %zu,\n",
-                 static_cast<long long>(mesh.x),
-                 static_cast<long long>(mesh.y),
-                 static_cast<long long>(mesh.z), steps, hw);
-    std::fprintf(f, "  \"runs\": [\n");
-    for (std::size_t n = 0; n < results.size(); ++n) {
-        const auto& r = results[n];
-        std::fprintf(f,
-                     "    {\"threads\": %zu, \"seconds_per_step\": %.6e, "
-                     "\"speedup\": %.4f}%s\n",
-                     r.threads, r.seconds_per_step,
-                     base / r.seconds_per_step,
-                     n + 1 < results.size() ? "," : "");
+    doc.set("runs", std::move(runs));
+    io::JsonArray ks;
+    for (const auto& k : kernels) {
+        io::JsonValue row;
+        row.set("name", k.name);
+        row.set("measured_seconds", k.seconds);
+        row.set("modeled_opteron_seconds", modeled_seconds(k.name));
+        row.set("flops", static_cast<double>(k.flops));
+        ks.push_back(std::move(row));
     }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"kernels_at_max_threads\": [\n");
-    for (std::size_t n = 0; n < kernels.size(); ++n) {
-        const auto& k = kernels[n];
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"measured_seconds\": %.6e, "
-                     "\"modeled_opteron_seconds\": %.6e, \"flops\": %llu}%s\n",
-                     json_escape(k.name).c_str(), k.seconds,
-                     modeled_seconds(k.name),
-                     static_cast<unsigned long long>(k.flops),
-                     n + 1 < kernels.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\n  wrote %s\n", path);
-    return 0;
+    doc.set("kernels_at_max_threads", std::move(ks));
+    return write_json("BENCH_cpu_scaling.json", doc) ? 0 : 1;
 }

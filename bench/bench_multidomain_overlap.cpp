@@ -148,15 +148,6 @@ double modeled_step_seconds(Index px, Index py, OverlapMode mode) {
     return StepModel(calibration(), cfg).run().total_s;
 }
 
-std::string json_escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\') out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,51 +242,39 @@ int main(int argc, char** argv) {
     note("GPU cluster at its production per-GPU mesh — compare the relative");
     note("gains, not the absolute seconds, against the host measurement.");
 
-    const char* path = "BENCH_multidomain_overlap.json";
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return 1;
-    }
-    std::fprintf(f, "{\n");
-    std::fprintf(f,
-                 "  \"config\": \"mountain_wave_warm_rain\",\n"
-                 "  \"mesh\": [%lld, %lld, %lld],\n"
-                 "  \"timed_steps\": %d,\n"
-                 "  \"hardware_threads\": %zu,\n",
-                 static_cast<long long>(mesh.x),
-                 static_cast<long long>(mesh.y),
-                 static_cast<long long>(mesh.z), steps, hw);
-    std::fprintf(f, "  \"decompositions\": [\n");
-    for (std::size_t n = 0; n < all.size(); ++n) {
-        const auto& dr = all[n];
-        std::fprintf(f,
-                     "    {\"px\": %lld, \"py\": %lld, "
-                     "\"local\": [%lld, %lld, %lld], "
-                     "\"threads_total\": %zu, \"runs\": [\n",
-                     static_cast<long long>(dr.d.px),
-                     static_cast<long long>(dr.d.py),
-                     static_cast<long long>(dr.local.x),
-                     static_cast<long long>(dr.local.y),
-                     static_cast<long long>(dr.local.z), dr.threads_total);
+    io::JsonValue doc;
+    doc.set("config", "mountain_wave_warm_rain");
+    doc.set("mesh", io::JsonArray{io::JsonValue(mesh.x),
+                                  io::JsonValue(mesh.y),
+                                  io::JsonValue(mesh.z)});
+    doc.set("timed_steps", steps);
+    doc.set("hardware_threads", static_cast<long long>(hw));
+    io::JsonArray ds;
+    for (const auto& dr : all) {
+        io::JsonValue row;
+        row.set("px", dr.d.px);
+        row.set("py", dr.d.py);
+        row.set("local", io::JsonArray{io::JsonValue(dr.local.x),
+                                       io::JsonValue(dr.local.y),
+                                       io::JsonValue(dr.local.z)});
+        row.set("threads_total", static_cast<long long>(dr.threads_total));
         const double base = dr.runs.front().seconds_per_step;
         const double mbase = dr.runs.front().modeled_s;
-        for (std::size_t m = 0; m < dr.runs.size(); ++m) {
-            const auto& r = dr.runs[m];
-            std::fprintf(
-                f,
-                "      {\"mode\": \"%s\", \"threads_per_rank\": %zu, "
-                "\"seconds_per_step\": %.6e, \"speedup_vs_none\": %.4f, "
-                "\"modeled_seconds\": %.6e, "
-                "\"modeled_speedup_vs_none\": %.4f}%s\n",
-                json_escape(mode_name(r.mode)).c_str(), r.threads_per_rank,
-                r.seconds_per_step, base / r.seconds_per_step, r.modeled_s,
-                mbase / r.modeled_s, m + 1 < dr.runs.size() ? "," : "");
+        io::JsonArray runs;
+        for (const auto& r : dr.runs) {
+            io::JsonValue rr;
+            rr.set("mode", mode_name(r.mode));
+            rr.set("threads_per_rank",
+                   static_cast<long long>(r.threads_per_rank));
+            rr.set("seconds_per_step", r.seconds_per_step);
+            rr.set("speedup_vs_none", base / r.seconds_per_step);
+            rr.set("modeled_seconds", r.modeled_s);
+            rr.set("modeled_speedup_vs_none", mbase / r.modeled_s);
+            runs.push_back(std::move(rr));
         }
-        std::fprintf(f, "    ]}%s\n", n + 1 < all.size() ? "," : "");
+        row.set("runs", std::move(runs));
+        ds.push_back(std::move(row));
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\n  wrote %s\n", path);
-    return 0;
+    doc.set("decompositions", std::move(ds));
+    return write_json("BENCH_multidomain_overlap.json", doc) ? 0 : 1;
 }

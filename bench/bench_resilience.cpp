@@ -150,37 +150,23 @@ int main(int argc, char** argv) {
     note("the per-step watchdog scan; 'recovering' additionally serializes");
     note("every rank state after every committed step (rollback-ready).");
 
-    const char* path = "BENCH_resilience.json";
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return 1;
-    }
     const double base = results.front().seconds_per_step;
-    std::fprintf(f, "{\n");
-    std::fprintf(f,
-                 "  \"config\": \"mountain_wave_warm_rain\",\n"
-                 "  \"mesh\": [%lld, %lld, %lld],\n"
-                 "  \"ranks\": [%lld, %lld],\n"
-                 "  \"timed_steps\": %d,\n"
-                 "  \"threads_per_rank\": %zu,\n",
-                 static_cast<long long>(mesh.x),
-                 static_cast<long long>(mesh.y),
-                 static_cast<long long>(mesh.z), static_cast<long long>(px),
-                 static_cast<long long>(py), steps, per_rank);
-    std::fprintf(f, "  \"variants\": [\n");
-    for (std::size_t n = 0; n < results.size(); ++n) {
-        const auto& r = results[n];
-        std::fprintf(f,
-                     "    {\"variant\": \"%s\", "
-                     "\"seconds_per_step\": %.6e, "
-                     "\"overhead_vs_off\": %.4f}%s\n",
-                     r.name, r.seconds_per_step,
-                     (r.seconds_per_step - base) / base,
-                     n + 1 < results.size() ? "," : "");
+    io::JsonValue doc;
+    doc.set("config", "mountain_wave_warm_rain");
+    doc.set("mesh", io::JsonArray{io::JsonValue(mesh.x),
+                                  io::JsonValue(mesh.y),
+                                  io::JsonValue(mesh.z)});
+    doc.set("ranks", io::JsonArray{io::JsonValue(px), io::JsonValue(py)});
+    doc.set("timed_steps", steps);
+    doc.set("threads_per_rank", static_cast<long long>(per_rank));
+    io::JsonArray vs;
+    for (const auto& r : results) {
+        io::JsonValue row;
+        row.set("variant", r.name);
+        row.set("seconds_per_step", r.seconds_per_step);
+        row.set("overhead_vs_off", (r.seconds_per_step - base) / base);
+        vs.push_back(std::move(row));
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\n  wrote %s\n", path);
-    return 0;
+    doc.set("variants", std::move(vs));
+    return write_json("BENCH_resilience.json", doc) ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 // Shared helpers for the figure/table reproduction benches: one cached
-// FLOP calibration (the PAPI substitute) and small table-printing helpers.
+// FLOP calibration (the PAPI substitute), small table-printing helpers
+// and the common machine-readable output path (structured JSON via
+// src/io/json.hpp — benches no longer hand-concatenate JSON strings).
 #pragma once
 
 #include <cstdio>
@@ -9,6 +11,7 @@
 #include "src/core/model.hpp"
 #include "src/gpusim/roofline.hpp"
 #include "src/instrument/calibration.hpp"
+#include "src/io/json.hpp"
 
 namespace asuca::bench {
 
@@ -88,6 +91,22 @@ inline void title(const std::string& text) {
 
 inline void note(const std::string& text) {
     std::printf("  %s\n", text.c_str());
+}
+
+/// Write a bench's machine-readable result document and announce the
+/// path on stdout (the driver greps for it). Returns false (after a
+/// stderr note) when the file cannot be written.
+inline bool write_json(const std::string& path, const io::JsonValue& doc) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    const std::string text = doc.dump() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("\n  wrote %s\n", path.c_str());
+    return true;
 }
 
 }  // namespace asuca::bench

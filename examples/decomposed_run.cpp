@@ -4,7 +4,14 @@
 // verify the two agree to machine precision.
 //
 //   ./examples/decomposed_run [px py steps] [--inject-fault=KIND]
-//                             [--deadline-ms=N]
+//                             [--deadline-ms=N] [--overlap=MODE]
+//                             [--trace=FILE.json] [--metrics=FILE.json]
+//
+// --overlap selects the decomposed executor: none (lockstep reference),
+// split (rank-concurrent kernel division + fusion) or pipeline
+// (+ inter-variable tracer pipelining). --trace writes a Chrome
+// trace-event JSON of the run (load it at https://ui.perfetto.dev) with
+// per-rank step/halo spans; --metrics writes per-step counter snapshots.
 //
 // With --inject-fault the runner executes under the resilience policy
 // (guarded channels, watchdog, rollback-and-replay) and a single fault of
@@ -28,6 +35,9 @@ using namespace asuca;
 
 int main(int argc, char** argv) {
     std::string fault;
+    std::string overlap;
+    std::string trace_path;
+    std::string metrics_path;
     long long deadline_ms = 2000;
     Index pos[2] = {2, 2};
     int steps = 5;
@@ -37,6 +47,12 @@ int main(int argc, char** argv) {
             fault = argv[a] + 15;
         } else if (std::strncmp(argv[a], "--deadline-ms=", 14) == 0) {
             deadline_ms = std::atoll(argv[a] + 14);
+        } else if (std::strncmp(argv[a], "--overlap=", 10) == 0) {
+            overlap = argv[a] + 10;
+        } else if (std::strncmp(argv[a], "--trace=", 8) == 0) {
+            trace_path = argv[a] + 8;
+        } else if (std::strncmp(argv[a], "--metrics=", 10) == 0) {
+            metrics_path = argv[a] + 10;
         } else if (n_pos < 2) {
             pos[n_pos++] = std::atoll(argv[a]);
         } else {
@@ -44,6 +60,9 @@ int main(int argc, char** argv) {
         }
     }
     const Index px = pos[0], py = pos[1];
+
+    if (!trace_path.empty()) obs::TraceRecorder::global().enable();
+    if (!metrics_path.empty()) obs::MetricsRegistry::global().enable();
 
     auto cfg = scenarios::mountain_wave_config<double>(32, 16, 24);
     ASUCA_REQUIRE(cfg.grid.nx % px == 0 && cfg.grid.ny % py == 0,
@@ -61,9 +80,20 @@ int main(int argc, char** argv) {
     // Decomposed run from the same initial state. With a fault requested,
     // run the concurrent executor under the resilience policy.
     cluster::MultiDomainConfig md;
+    if (overlap == "split") {
+        md.overlap = cluster::OverlapMode::Split;
+    } else if (overlap == "pipeline") {
+        md.overlap = cluster::OverlapMode::SplitPipeline;
+    } else if (!overlap.empty() && overlap != "none") {
+        std::fprintf(stderr, "unknown --overlap=%s (none|split|pipeline)\n",
+                     overlap.c_str());
+        return 2;
+    }
     if (!fault.empty()) {
         using resilience::FaultKind;
-        md.overlap = cluster::OverlapMode::Split;
+        if (md.overlap == cluster::OverlapMode::None) {
+            md.overlap = cluster::OverlapMode::Split;
+        }
         md.resilience.enabled = true;
         md.resilience.checkpoint_interval = 1;
         md.resilience.halo_deadline =
@@ -100,6 +130,27 @@ int main(int argc, char** argv) {
     }
     cluster::MultiDomainRunner<double> runner(cfg.grid, px, py, cfg.species,
                                               cfg.stepper, md);
+    obs::MetricsSnapshotter snapshotter;
+    if (!metrics_path.empty()) {
+        runner.step_hooks().add([&](cluster::MultiDomainRunner<double>& r) {
+            snapshotter.record(r.step_index());
+        });
+    }
+    auto write_observability = [&] {
+        if (!trace_path.empty()) {
+            obs::TraceRecorder::global().disable();
+            obs::TraceRecorder::global().write_chrome_trace(trace_path);
+            std::printf("trace written to %s (%lld threads)\n",
+                        trace_path.c_str(),
+                        (long long)obs::TraceRecorder::global()
+                            .thread_count());
+        }
+        if (!metrics_path.empty()) {
+            snapshotter.write(metrics_path);
+            std::printf("metrics written to %s (%lld step snapshots)\n",
+                        metrics_path.c_str(), (long long)snapshotter.size());
+        }
+    };
     runner.scatter(initial);
     Timer t_multi;
     t_multi.start();
@@ -114,11 +165,13 @@ int main(int argc, char** argv) {
         } catch (const Error& e) {
             t_multi.stop();
             std::printf("all ranks terminated cleanly:\n  %s\n", e.what());
+            write_observability();
             return 0;
         }
     }
     runner.advance(steps);
     t_multi.stop();
+    write_observability();
     if (!runner.recovery_log().empty()) {
         std::printf("recovery log: %s\n", runner.recovery_log().c_str());
     }

@@ -3,19 +3,44 @@
 // Builds a model, initializes a classical rising warm bubble, integrates
 // five minutes, and prints conservation/extrema diagnostics every 30 s.
 //
-//   ./examples/quickstart [nx ny nz minutes]
+//   ./examples/quickstart [nx ny nz minutes] [--trace=FILE.json]
+//                         [--metrics=FILE.json]
+//
+// --trace writes a Chrome trace-event JSON (kernel + RK3-stage spans;
+// open it at https://ui.perfetto.dev); --metrics writes per-step
+// counter/histogram snapshots.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/core/scenarios.hpp"
+#include "src/observability/metrics.hpp"
+#include "src/observability/trace.hpp"
 
 using namespace asuca;
 
 int main(int argc, char** argv) {
-    const Index nx = argc > 1 ? std::atoll(argv[1]) : 32;
-    const Index ny = argc > 2 ? std::atoll(argv[2]) : 32;
-    const Index nz = argc > 3 ? std::atoll(argv[3]) : 24;
-    const double minutes = argc > 4 ? std::atof(argv[4]) : 5.0;
+    std::string trace_path;
+    std::string metrics_path;
+    long long pos[3] = {32, 32, 24};
+    double minutes = 5.0;
+    int n_pos = 0;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strncmp(argv[a], "--trace=", 8) == 0) {
+            trace_path = argv[a] + 8;
+        } else if (std::strncmp(argv[a], "--metrics=", 10) == 0) {
+            metrics_path = argv[a] + 10;
+        } else if (n_pos < 3) {
+            pos[n_pos++] = std::atoll(argv[a]);
+        } else {
+            minutes = std::atof(argv[a]);
+        }
+    }
+    const Index nx = pos[0], ny = pos[1], nz = pos[2];
+
+    if (!trace_path.empty()) obs::TraceRecorder::global().enable();
+    if (!metrics_path.empty()) obs::MetricsRegistry::global().enable();
 
     // 1. Configure: grid, time step, physics (see ModelConfig for the
     //    full set of knobs).
@@ -24,6 +49,14 @@ int main(int argc, char** argv) {
     // 2. Construct and initialize.
     AsucaModel<double> model(cfg);
     scenarios::init_warm_bubble(model, /*dtheta=*/2.0);
+
+    // Per-step metrics snapshots ride on the stepper's step hooks.
+    obs::MetricsSnapshotter snapshotter;
+    long long snap_step = 0;
+    if (!metrics_path.empty()) {
+        model.stepper().step_hooks().add(
+            [&](const State<double>&) { snapshotter.record(snap_step++); });
+    }
 
     std::printf("ASUCA-like dycore quickstart: warm bubble on %lldx%lldx%lld"
                 ", dt=%.1f s\n",
@@ -59,5 +92,14 @@ int main(int argc, char** argv) {
                 "substeps max)\n",
                 static_cast<long long>(model.step_count()),
                 cfg.stepper.n_short_steps);
+    if (!trace_path.empty()) {
+        obs::TraceRecorder::global().disable();
+        obs::TraceRecorder::global().write_chrome_trace(trace_path);
+        std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        snapshotter.write(metrics_path);
+        std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
     return 0;
 }

@@ -47,6 +47,8 @@
 #include "src/common/error.hpp"
 #include "src/common/types.hpp"
 #include "src/field/array3.hpp"
+#include "src/observability/metrics.hpp"
+#include "src/observability/trace.hpp"
 
 namespace asuca::cluster {
 
@@ -154,15 +156,22 @@ class HaloChannel {
   public:
     static constexpr std::uint64_t kSlots = 2;
 
+    /// Identify the channel (owner rank + producing peer + side) for
+    /// failure verdicts and trace-span attribution. The exchanger sets
+    /// this at construction, before any concurrent use.
+    void set_identity(Index owner, Index peer, int side) {
+        owner_rank_ = owner;
+        peer_rank_ = peer;
+        side_ = side;
+    }
+
     /// Switch to guarded (deadline + integrity) mode. Must be called
     /// while no thread is using the channel; `owner`/`peer`/`side`
     /// identify the channel in failure verdicts.
     void enable_guard(const ChannelGuard& guard, Index owner, Index peer,
                       int side) {
         guard_ = guard;
-        owner_rank_ = owner;
-        peer_rank_ = peer;
-        side_ = side;
+        set_identity(owner, peer, side);
         guarded_ = true;
     }
 
@@ -177,8 +186,11 @@ class HaloChannel {
     }
 
     /// Producer: claim the slot buffer for the next message, blocking
-    /// (backoff wait) while both slots hold unconsumed messages.
+    /// (backoff wait) while both slots hold unconsumed messages. The
+    /// wait (backpressure: the consumer is behind) is a trace span
+    /// attributed to the PRODUCING rank's thread.
     std::vector<T>& begin_post(std::size_t size) {
+        obs::TraceSpan span("halo_post_wait", peer_rank_, "halo");
         auto have_slot = [&] {
             return next_post_ -
                        consumed_.load(std::memory_order_acquire) <
@@ -217,6 +229,14 @@ class HaloChannel {
         if (corrupt_in_flight && !slot.empty()) {
             flip_low_bit(slot[slot.size() / 2]);
         }
+        if (obs::metrics_enabled()) {
+            static auto& messages =
+                obs::MetricsRegistry::global().counter("halo.messages");
+            static auto& bytes =
+                obs::MetricsRegistry::global().counter("halo.bytes");
+            messages.add(1);
+            bytes.add(slot.size() * sizeof(T));
+        }
         ++next_post_;
         posted_.store(next_post_, std::memory_order_release);
         posted_.notify_one();
@@ -224,8 +244,12 @@ class HaloChannel {
 
     /// Consumer: wait (backoff) for the next message and return it. A
     /// guarded channel verifies the integrity word and fails the wait at
-    /// the deadline instead of blocking forever.
+    /// the deadline instead of blocking forever. The wait is a trace
+    /// span attributed to the CONSUMING (owner) rank's thread — on a
+    /// timeline, halo_wait time is exactly the communication the
+    /// overlap modes are supposed to hide (paper Sec. V-A).
     const std::vector<T>& begin_receive() {
+        obs::TraceSpan span("halo_wait", owner_rank_, "halo");
         auto have_msg = [&] {
             return posted_.load(std::memory_order_acquire) > next_receive_;
         };
@@ -327,7 +351,17 @@ class HaloExchanger {
 
     HaloExchanger(Index px, Index py, Index nxl, Index nyl)
         : px_(px), py_(py), nxl_(nxl), nyl_(nyl),
-          channels_(static_cast<std::size_t>(px * py) * 4) {}
+          channels_(static_cast<std::size_t>(px * py) * 4) {
+        // Identity is set eagerly (not only under a guard) so trace
+        // spans can attribute every wait to its rank and side.
+        for (Index r = 0; r < px_ * py_; ++r) {
+            for (int s = 0; s < 4; ++s) {
+                channel(r, static_cast<Side>(s))
+                    .set_identity(r, producer_of(r, static_cast<Side>(s)),
+                                  s);
+            }
+        }
+    }
 
     /// Put every channel into guarded mode (deadlines + integrity) and
     /// allocate the per-rank fault-arming slots. Call before any
@@ -377,6 +411,7 @@ class HaloExchanger {
     /// the westernmost columns feed the west neighbor's EAST halo, the
     /// easternmost columns feed the east neighbor's WEST halo.
     void post_x(Index r, const Array3<T>& a) {
+        obs::TraceSpan span("halo_pack_x", r, "halo");
         const Index h = a.halo();
         const Index sx = a.nx() - nxl_;  // 1 for x-staggered fields
         take_delay(r);
@@ -390,6 +425,7 @@ class HaloExchanger {
 
     /// Receive both x-direction strips into rank r's halos.
     void recv_x(Index r, Array3<T>& a) {
+        obs::TraceSpan span("halo_unpack_x", r, "halo");
         const Index h = a.halo();
         const Index sx = a.nx() - nxl_;
         unpack_cols(channel(r, West), a, -h, 0);
@@ -400,6 +436,7 @@ class HaloExchanger {
     /// x halos of `a` must already be received, mirroring the lockstep
     /// x-then-y ordering that resolves the corners).
     void post_y(Index r, const Array3<T>& a) {
+        obs::TraceSpan span("halo_pack_y", r, "halo");
         const Index h = a.halo();
         const Index sy = a.ny() - nyl_;
         take_delay(r);
@@ -411,6 +448,7 @@ class HaloExchanger {
 
     /// Receive both y-direction strips into rank r's halos.
     void recv_y(Index r, Array3<T>& a) {
+        obs::TraceSpan span("halo_unpack_y", r, "halo");
         const Index h = a.halo();
         const Index sy = a.ny() - nyl_;
         unpack_rows(channel(r, South), a, -h, 0);

@@ -45,6 +45,9 @@
 #include "src/core/timestepper.hpp"
 #include "src/grid/grid.hpp"
 #include "src/io/checkpoint.hpp"
+#include "src/observability/metrics.hpp"
+#include "src/observability/step_hooks.hpp"
+#include "src/observability/trace.hpp"
 #include "src/parallel/task_layer.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/resilience/fault_injector.hpp"
@@ -183,14 +186,26 @@ class MultiDomainRunner {
     }
     resilience::FaultInjector& injector() { return injector_; }
 
-    /// Observer invoked after every step(), when all rank states are
-    /// final and exchanged — the decomposed counterpart of
-    /// TimeStepper::set_step_observer (the conservation ledger attaches
-    /// here, summing rank invariants). Always called from the step()
-    /// caller's thread, after the rank tasks have joined.
+    /// Hooks invoked after every committed step, when all rank states
+    /// are final and exchanged — the decomposed counterpart of
+    /// TimeStepper::step_hooks() (the conservation ledger and the
+    /// metrics snapshotter attach here, in subscription order). Always
+    /// fired from the step() caller's thread, after the rank tasks have
+    /// joined; advance() skips steps that are about to roll back.
+    using StepHooks = obs::StepHooks<MultiDomainRunner&>;
+    StepHooks& step_hooks() { return step_hooks_; }
+
+    /// Legacy single-observer shim over step_hooks(): set replaces this
+    /// shim's own subscription, nullptr detaches it. Other subscribers
+    /// are unaffected.
     using StepObserver = std::function<void(MultiDomainRunner&)>;
+    [[deprecated("use step_hooks().add()/remove()")]]
     void set_step_observer(StepObserver observer) {
-        step_observer_ = std::move(observer);
+        if (shim_handle_ != 0) {
+            step_hooks_.remove(shim_handle_);
+            shim_handle_ = 0;
+        }
+        if (observer) shim_handle_ = step_hooks_.add(std::move(observer));
     }
 
     /// Copy the interiors of a global state into the rank states and
@@ -241,7 +256,8 @@ class MultiDomainRunner {
     void step() {
         step_impl();
         ++step_index_;
-        if (step_observer_) step_observer_(*this);
+        record_step_metrics();
+        step_hooks_.notify(*this);
     }
 
     /// Advance `n_steps` long steps under the resilience policy:
@@ -299,6 +315,9 @@ class MultiDomainRunner {
                                      report);
             }
             if (!report.healthy()) {
+                obs::trace_instant("watchdog_unhealthy",
+                                   report.findings.front().rank,
+                                   "resilience");
                 last_report_ = report;
                 ++retries;
                 ASUCA_REQUIRE(retries <= rc.max_retries,
@@ -312,7 +331,8 @@ class MultiDomainRunner {
             if (track_mass) mass_baseline_ = mass;
             ++step_index_;
             retries = 0;
-            if (step_observer_) step_observer_(*this);
+            record_step_metrics();
+            step_hooks_.notify(*this);
             if (step_index_ - snapshot_step_ >= rc.checkpoint_interval) {
                 take_snapshot();
             }
@@ -378,6 +398,7 @@ class MultiDomainRunner {
 
     /// Dispatch one long step to the configured executor.
     void step_impl() {
+        obs::TraceSpan span("md_long_step", "phase");
         if (mdcfg_.overlap == OverlapMode::None) {
             step_lockstep();
         } else {
@@ -484,16 +505,24 @@ class MultiDomainRunner {
                 if (injector_.enabled()) {
                     const auto stall = injector_.stall(r, step_index_);
                     if (stall.count() > 0) {
+                        obs::trace_instant("fault_stall", r, "resilience");
                         std::this_thread::sleep_for(stall);
                     }
                     if (injector_.kill(r, step_index_)) {
+                        obs::trace_instant("fault_kill", r, "resilience");
                         throw resilience::InjectedFaultError(r, step_index_);
                     }
                     if (injector_.arm_halo_corrupt(r, step_index_)) {
+                        obs::trace_instant("fault_halo_corrupt", r,
+                                           "resilience");
                         exchanger_->arm_corrupt(r);
                     }
                     const auto delay = injector_.halo_delay(r, step_index_);
-                    if (delay.count() > 0) exchanger_->arm_delay(r, delay);
+                    if (delay.count() > 0) {
+                        obs::trace_instant("fault_halo_delay", r,
+                                           "resilience");
+                        exchanger_->arm_delay(r, delay);
+                    }
                 }
                 rank_step_program(r, pipeline);
             } catch (...) {
@@ -512,6 +541,10 @@ class MultiDomainRunner {
     /// schedules below can never deadlock: each post waits only on a
     /// receive that occurs strictly earlier in the shared program order.
     void rank_step_program(Index r, bool pipeline) {
+        if (obs::trace_enabled()) {
+            obs::name_this_thread("rank " + std::to_string(r) + " worker");
+        }
+        obs::TraceSpan program_span("rank_step", r, "phase");
         Rank& rk = *ranks_[size_t(r)];
         TimeStepper<T>& st = rk.stepper;
         AcousticStepper<T>& ac = st.acoustic();
@@ -675,6 +708,14 @@ class MultiDomainRunner {
         return static_cast<double>(step_index_) * cfg_.dt;
     }
 
+    /// Per-committed-step counters, shared by step() and advance().
+    void record_step_metrics() {
+        if (!obs::metrics_enabled()) return;
+        static obs::Counter& steps =
+            obs::MetricsRegistry::global().counter("multidomain.steps");
+        steps.add();
+    }
+
     double global_mass() const {
         double mass = 0.0;
         for (Index r = 0; r < rank_count(); ++r) {
@@ -716,6 +757,12 @@ class MultiDomainRunner {
     /// byte-identical state with the injected fault already consumed, so
     /// a recovered run is bitwise identical to a fault-free one.
     void rollback(const std::string& why) {
+        obs::trace_instant("rollback", "resilience");
+        if (obs::metrics_enabled()) {
+            obs::MetricsRegistry::global()
+                .counter("resilience.rollbacks")
+                .add();
+        }
         restore_snapshot();
         if (exchanger_ != nullptr) rebuild_exchanger();
         recovery_log_ += "rollback to step " + std::to_string(snapshot_step_) +
@@ -950,7 +997,8 @@ class MultiDomainRunner {
     std::unique_ptr<TaskLayer> tasks_;
     std::unique_ptr<HaloExchanger<T>> exchanger_;
     std::vector<std::unique_ptr<ThreadPool>> pools_;
-    StepObserver step_observer_;
+    StepHooks step_hooks_;
+    typename StepHooks::Handle shim_handle_ = 0;
     // Resilience machinery (inert when mdcfg_.resilience.enabled is off).
     resilience::FaultInjector injector_;
     resilience::Watchdog<T> watchdog_;

@@ -31,6 +31,9 @@
 #include "src/core/tendencies.hpp"
 #include "src/grid/grid.hpp"
 #include "src/instrument/kernel_registry.hpp"
+#include "src/observability/metrics.hpp"
+#include "src/observability/step_hooks.hpp"
+#include "src/observability/trace.hpp"
 #include "src/parallel/thread_pool.hpp"
 
 namespace asuca {
@@ -63,13 +66,25 @@ class TimeStepper {
 
     const TimeStepperConfig& config() const { return cfg_; }
 
-    /// Observer invoked with the updated state after every step() — the
-    /// opt-in hook the verification subsystem (conservation ledger,
-    /// src/verify/invariants.hpp) attaches to. Costs one branch per long
-    /// step when unset; pass {} to detach.
+    /// Per-step hook surface: every subscriber is invoked with the
+    /// updated state after each step(), in subscription order. The
+    /// conservation ledger, metrics snapshotter and golden harness all
+    /// attach here concurrently — see src/observability/step_hooks.hpp.
+    using StepHooks = obs::StepHooks<const State<T>&>;
+    StepHooks& step_hooks() { return step_hooks_; }
+
+    /// Deprecated single-observer shim over step_hooks(): setting an
+    /// observer replaces only the shim's own subscription (other
+    /// subscribers keep firing); nullptr detaches it. New code should
+    /// use step_hooks().add()/remove() directly.
     using StepObserver = std::function<void(const State<T>&)>;
+    [[deprecated("use step_hooks().add()/remove()")]]
     void set_step_observer(StepObserver observer) {
-        step_observer_ = std::move(observer);
+        if (shim_handle_ != 0) {
+            step_hooks_.remove(shim_handle_);
+            shim_handle_ = 0;
+        }
+        if (observer) shim_handle_ = step_hooks_.add(std::move(observer));
     }
 
     /// Advance `state` by one long step dt.
@@ -80,12 +95,18 @@ class TimeStepper {
     /// The workspace is synced once (reference fields, halo content the
     /// copies used to carry) and its reference fields refreshed per step.
     void step(State<T>& state) {
+        obs::TraceSpan step_span("long_step", "phase");
+        Timer step_timer;
+        step_timer.start();
         apply_state_bcs(state);
         sync_stage_workspace(state);
 
+        static constexpr const char* kStageName[3] = {
+            "rk3_stage_1/3", "rk3_stage_1/2", "rk3_stage_1"};
         static constexpr double kStageFraction[3] = {1.0 / 3.0, 0.5, 1.0};
         const State<T>* bar = &state;
         for (int stage = 0; stage < 3; ++stage) {
+            obs::TraceSpan stage_span(kStageName[stage], "phase");
             const double dt_s = cfg_.dt * kStageFraction[stage];
             compute_slow_tendencies(*bar, slow_);
             acoustic_.prepare(*bar);
@@ -94,8 +115,11 @@ class TimeStepper {
                 1, static_cast<int>(std::lround(cfg_.n_short_steps *
                                                 kStageFraction[stage])));
             const double dtau = dt_s / ns;
-            for (int n = 0; n < ns; ++n) {
-                acoustic_.substep(slow_, dtau, cfg_.bc);
+            {
+                obs::TraceSpan acoustic_span("acoustic_substeps", "phase");
+                for (int n = 0; n < ns; ++n) {
+                    acoustic_.substep(slow_, dtau, cfg_.bc);
+                }
             }
             // Intermediate stages land in the workspace; the final stage
             // writes straight into `state`. finalize and the tracer
@@ -107,7 +131,16 @@ class TimeStepper {
             apply_state_bcs(out);
             bar = &out;
         }
-        if (step_observer_) step_observer_(state);
+        step_timer.stop();
+        if (obs::metrics_enabled()) {
+            static auto& steps =
+                obs::MetricsRegistry::global().counter("stepper.steps");
+            static auto& seconds = obs::MetricsRegistry::global().histogram(
+                "stepper.step_microseconds");
+            steps.add(1);
+            seconds.observe(step_timer.seconds() * 1e6);
+        }
+        step_hooks_.notify(state);
     }
 
     /// Assemble the slow-mode tendencies at the given (BC-consistent)
@@ -329,7 +362,8 @@ class TimeStepper {
     State<T> work_;
     bool work_synced_ = false;
     Array3<T> p_pert_, rho_pert_;
-    StepObserver step_observer_;
+    StepHooks step_hooks_;
+    typename StepHooks::Handle shim_handle_ = 0;
 };
 
 }  // namespace asuca

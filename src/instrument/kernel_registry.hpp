@@ -18,6 +18,7 @@
 
 #include "src/common/timer.hpp"
 #include "src/instrument/flop_counter.hpp"
+#include "src/observability/trace.hpp"
 
 namespace asuca {
 
@@ -107,13 +108,16 @@ class KernelRegistry {
 };
 
 /// RAII scope: times a kernel invocation and attributes the FLOPs counted
-/// while it was alive.
+/// while it was alive. Doubles as a trace span (category "kernel"), so
+/// an enabled TraceRecorder shows every kernel invocation on the
+/// timeline with the same name the registry aggregates under.
 class KernelScope {
   public:
     KernelScope(std::string name, KernelTraits traits, std::uint64_t elements,
                 KernelRegistry* registry = &KernelRegistry::global())
         : name_(std::move(name)), traits_(traits), elements_(elements),
-          registry_(registry), flops_begin_(FlopCounter::value()) {
+          registry_(registry), flops_begin_(FlopCounter::value()),
+          span_(name_.c_str(), "kernel") {
         timer_.start();
     }
 
@@ -135,6 +139,7 @@ class KernelScope {
     std::uint64_t elements_;
     KernelRegistry* registry_;
     std::uint64_t flops_begin_;
+    obs::TraceSpan span_;  ///< destructs after timer_.stop() records
     Timer timer_;
 };
 

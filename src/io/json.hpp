@@ -34,7 +34,9 @@ class JsonValue {
     JsonValue(bool b) : v_(b) {}
     JsonValue(double d) : v_(d) {}
     JsonValue(int i) : v_(static_cast<double>(i)) {}
+    JsonValue(long i) : v_(static_cast<double>(i)) {}
     JsonValue(long long i) : v_(static_cast<double>(i)) {}
+    JsonValue(unsigned long long i) : v_(static_cast<double>(i)) {}
     JsonValue(const char* s) : v_(std::string(s)) {}
     JsonValue(std::string s) : v_(std::move(s)) {}
     JsonValue(JsonArray a) : v_(std::move(a)) {}

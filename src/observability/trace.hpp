@@ -1,0 +1,355 @@
+// Structured tracing: a low-overhead, per-thread ring-buffer span
+// recorder with a Chrome trace-event exporter.
+//
+// The paper's whole optimization story (Sec. IV-B, VI-B, Fig. 9) rests
+// on knowing exactly where a long step spends its time — per-kernel
+// times justified the kernel splitting, per-phase times the Sec. V-A
+// communication overlap. This recorder makes that attribution visible
+// as a timeline instead of aggregate sums: every KernelScope, RK3
+// stage, acoustic substep, halo pack/post/wait/unpack and rank-worker
+// activity becomes a span, and the export loads directly into
+// Perfetto / chrome://tracing.
+//
+// Design:
+//   * One ring buffer PER THREAD (SPSC: only its own thread writes;
+//     the exporter reads while the system is quiescent). Emission is
+//     lock-free and allocation-free in the steady state: claim the next
+//     slot with a plain increment (the buffer is thread-private),
+//     memcpy the fixed-size name, done. The only lock is a registry
+//     mutex taken once per thread lifetime, on first emission.
+//   * Spans are COMPLETE events written at scope exit (begin time +
+//     duration), so a buffer never holds a torn begin/end pair and
+//     wraparound cannot orphan an end event.
+//   * When wrapped, the buffer keeps the newest events (slot = count %
+//     capacity) and remembers how many were dropped.
+//   * Disabled mode (the default) is one relaxed atomic load per
+//     would-be span — no clock reads, no name formatting, no thread
+//     registration, no allocation. Tracing can therefore stay compiled
+//     into the production hot path (paper Sec. IV-B measures the same
+//     binary it ships).
+//
+// Thread-safety contract: enable()/disable()/clear()/export are driver
+// operations — call them while no instrumented code is running. Span
+// emission from any number of threads is safe concurrently.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/io/json.hpp"
+
+namespace asuca::obs {
+
+/// Fixed-size names keep TraceEvent POD and emission allocation-free.
+constexpr std::size_t kTraceNameChars = 48;
+constexpr std::size_t kTraceCatChars = 16;
+
+enum class TraceKind : std::uint8_t {
+    Span,     ///< duration event (begin + dur)
+    Instant,  ///< point event
+};
+
+struct TraceEvent {
+    char name[kTraceNameChars];
+    char cat[kTraceCatChars];
+    std::int64_t t_begin_ns = 0;  ///< since TraceRecorder::enable()
+    std::int64_t dur_ns = 0;      ///< 0 for instants
+    std::uint32_t tid = 0;        ///< recorder-assigned thread id
+    std::uint16_t depth = 0;      ///< span nesting depth on its thread
+    TraceKind kind = TraceKind::Span;
+};
+
+namespace detail {
+
+/// Global on/off switch, read (relaxed) on every would-be emission.
+inline std::atomic<bool> g_trace_enabled{false};
+
+inline void copy_name(char* dst, std::size_t cap, const char* src) {
+    std::size_t n = 0;
+    for (; n + 1 < cap && src[n] != '\0'; ++n) dst[n] = src[n];
+    dst[n] = '\0';
+}
+
+}  // namespace detail
+
+inline bool trace_enabled() {
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// The process-wide recorder: owns one ring buffer per emitting thread.
+class TraceRecorder {
+  public:
+    /// One thread's ring. Written only by its owning thread; read by
+    /// the exporter while the system is quiescent.
+    struct ThreadBuffer {
+        explicit ThreadBuffer(std::uint32_t id, std::size_t capacity)
+            : tid(id), ring(capacity) {}
+
+        void emit(const TraceEvent& e) {
+            ring[static_cast<std::size_t>(count % ring.size())] = e;
+            ++count;
+        }
+
+        std::uint32_t tid;
+        std::string label;           ///< thread name for the export
+        std::uint64_t count = 0;     ///< total emitted (monotonic)
+        std::uint16_t depth = 0;     ///< live span nesting
+        std::vector<TraceEvent> ring;
+        /// Which recorder registered this buffer: the thread-local
+        /// cache checks it so a thread that emitted into one recorder
+        /// re-registers when another (test-private) recorder is used.
+        const TraceRecorder* owner = nullptr;
+    };
+
+    static TraceRecorder& global() {
+        static TraceRecorder r;
+        return r;
+    }
+
+    /// Start recording. `capacity_per_thread` bounds memory: each
+    /// thread keeps its newest `capacity_per_thread` events. Existing
+    /// buffers are cleared and resized. Call while quiescent.
+    void enable(std::size_t capacity_per_thread = 1u << 16) {
+        std::lock_guard lock(mutex_);
+        capacity_ = capacity_per_thread > 0 ? capacity_per_thread : 1;
+        for (auto& b : buffers_) {
+            b->ring.assign(capacity_, TraceEvent{});
+            b->count = 0;
+            b->depth = 0;
+        }
+        t0_ = Clock::now();
+        detail::g_trace_enabled.store(true, std::memory_order_release);
+    }
+
+    /// Stop recording; buffered events remain readable/exportable.
+    void disable() {
+        detail::g_trace_enabled.store(false, std::memory_order_release);
+    }
+
+    /// Drop all recorded events (buffers stay registered). Quiescent.
+    void clear() {
+        std::lock_guard lock(mutex_);
+        for (auto& b : buffers_) {
+            b->count = 0;
+            b->depth = 0;
+        }
+    }
+
+    std::int64_t now_ns() const {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - t0_)
+            .count();
+    }
+
+    /// The calling thread's buffer, registering it on first use. Only
+    /// reached from enabled-mode emission paths.
+    ThreadBuffer& thread_buffer() {
+        thread_local ThreadBuffer* tls = nullptr;
+        if (tls == nullptr || tls->owner != this) tls = register_thread();
+        return *tls;
+    }
+
+    /// Name the calling thread in the export ("rank 2 worker"...).
+    /// No-op while disabled (avoids registering never-emitting threads).
+    void name_this_thread(const std::string& label) {
+        if (!trace_enabled()) return;
+        ThreadBuffer& b = thread_buffer();
+        std::lock_guard lock(mutex_);
+        b.label = label;
+    }
+
+    std::size_t thread_count() const {
+        std::lock_guard lock(mutex_);
+        return buffers_.size();
+    }
+
+    /// Total events dropped to wraparound across all threads.
+    std::uint64_t dropped() const {
+        std::lock_guard lock(mutex_);
+        std::uint64_t d = 0;
+        for (const auto& b : buffers_) {
+            if (b->count > b->ring.size()) d += b->count - b->ring.size();
+        }
+        return d;
+    }
+
+    /// Snapshot of every retained event, oldest-first per thread.
+    /// Quiescent-read: call after disable() or while no spans run.
+    std::vector<TraceEvent> events() const {
+        std::lock_guard lock(mutex_);
+        std::vector<TraceEvent> out;
+        for (const auto& b : buffers_) {
+            const std::uint64_t cap = b->ring.size();
+            const std::uint64_t kept = b->count < cap ? b->count : cap;
+            for (std::uint64_t n = 0; n < kept; ++n) {
+                out.push_back(
+                    b->ring[static_cast<std::size_t>((b->count - kept + n) %
+                                                     cap)]);
+            }
+        }
+        return out;
+    }
+
+    /// Chrome trace-event JSON (the {"traceEvents": [...]} envelope):
+    /// spans as complete ("X") events, instants as "i", plus thread
+    /// metadata so Perfetto shows rank/worker names. Timestamps are in
+    /// microseconds as the format requires.
+    io::JsonValue chrome_trace() const {
+        std::lock_guard lock(mutex_);
+        io::JsonArray evs;
+        for (const auto& b : buffers_) {
+            if (!b->label.empty()) {
+                io::JsonValue m;
+                m.set("name", "thread_name");
+                m.set("ph", "M");
+                m.set("pid", 0);
+                m.set("tid", static_cast<long long>(b->tid));
+                io::JsonValue args;
+                args.set("name", b->label);
+                m.set("args", std::move(args));
+                evs.push_back(std::move(m));
+            }
+            const std::uint64_t cap = b->ring.size();
+            const std::uint64_t kept = b->count < cap ? b->count : cap;
+            for (std::uint64_t n = 0; n < kept; ++n) {
+                const TraceEvent& e =
+                    b->ring[static_cast<std::size_t>((b->count - kept + n) %
+                                                     cap)];
+                io::JsonValue j;
+                j.set("name", e.name);
+                if (e.cat[0] != '\0') j.set("cat", e.cat);
+                j.set("ph", e.kind == TraceKind::Span ? "X" : "i");
+                j.set("ts", static_cast<double>(e.t_begin_ns) * 1e-3);
+                if (e.kind == TraceKind::Span) {
+                    j.set("dur", static_cast<double>(e.dur_ns) * 1e-3);
+                } else {
+                    j.set("s", "t");  // thread-scoped instant
+                }
+                j.set("pid", 0);
+                j.set("tid", static_cast<long long>(e.tid));
+                evs.push_back(std::move(j));
+            }
+        }
+        io::JsonValue doc;
+        doc.set("traceEvents", std::move(evs));
+        doc.set("displayTimeUnit", "ms");
+        return doc;
+    }
+
+    void write_chrome_trace(const std::string& path) const {
+        io::json_save(path, chrome_trace());
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    ThreadBuffer* register_thread() {
+        std::lock_guard lock(mutex_);
+        buffers_.push_back(std::make_unique<ThreadBuffer>(
+            static_cast<std::uint32_t>(buffers_.size()), capacity_));
+        buffers_.back()->owner = this;
+        return buffers_.back().get();
+    }
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::size_t capacity_ = 1u << 16;
+    Clock::time_point t0_ = Clock::now();
+
+  public:
+    TraceRecorder() = default;
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+};
+
+/// RAII span: records [construction, destruction) on the calling
+/// thread. When tracing is disabled the constructor is one relaxed
+/// atomic load and the destructor one branch.
+class TraceSpan {
+  public:
+    explicit TraceSpan(const char* name, const char* cat = "") {
+        if (!trace_enabled()) return;
+        begin(cat);
+        detail::copy_name(name_, sizeof(name_), name);
+    }
+
+    /// Formatted variant: "<base> r<idx>" (rank/worker attribution).
+    /// The formatting only happens when tracing is enabled.
+    TraceSpan(const char* base, long long idx, const char* cat) {
+        if (!trace_enabled()) return;
+        begin(cat);
+        std::snprintf(name_, sizeof(name_), "%s r%lld", base, idx);
+    }
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+    ~TraceSpan() {
+        if (!active_) return;
+        auto& rec = TraceRecorder::global();
+        auto& buf = rec.thread_buffer();
+        TraceEvent e;
+        detail::copy_name(e.name, sizeof(e.name), name_);
+        detail::copy_name(e.cat, sizeof(e.cat), cat_);
+        e.t_begin_ns = t_begin_;
+        e.dur_ns = rec.now_ns() - t_begin_;
+        e.tid = buf.tid;
+        e.depth = --buf.depth;
+        e.kind = TraceKind::Span;
+        buf.emit(e);
+    }
+
+  private:
+    void begin(const char* cat) {
+        auto& rec = TraceRecorder::global();
+        auto& buf = rec.thread_buffer();
+        ++buf.depth;
+        t_begin_ = rec.now_ns();
+        detail::copy_name(cat_, sizeof(cat_), cat);
+        active_ = true;
+    }
+
+    bool active_ = false;
+    std::int64_t t_begin_ = 0;
+    char name_[kTraceNameChars] = {0};
+    char cat_[kTraceCatChars] = {0};
+};
+
+/// Point event (fault injections, watchdog verdicts, rollbacks...).
+inline void trace_instant(const char* name, const char* cat = "") {
+    if (!trace_enabled()) return;
+    auto& rec = TraceRecorder::global();
+    auto& buf = rec.thread_buffer();
+    TraceEvent e;
+    detail::copy_name(e.name, sizeof(e.name), name);
+    detail::copy_name(e.cat, sizeof(e.cat), cat);
+    e.t_begin_ns = rec.now_ns();
+    e.dur_ns = 0;
+    e.tid = buf.tid;
+    e.depth = buf.depth;
+    e.kind = TraceKind::Instant;
+    buf.emit(e);
+}
+
+/// Formatted instant: "<base> r<idx>" — formats only when enabled.
+inline void trace_instant(const char* base, long long idx,
+                          const char* cat) {
+    if (!trace_enabled()) return;
+    char name[kTraceNameChars];
+    std::snprintf(name, sizeof(name), "%s r%lld", base, idx);
+    trace_instant(name, cat);
+}
+
+/// Label the calling thread for the export. No-op while disabled.
+inline void name_this_thread(const std::string& label) {
+    TraceRecorder::global().name_this_thread(label);
+}
+
+}  // namespace asuca::obs

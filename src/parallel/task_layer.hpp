@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/observability/trace.hpp"
 
 namespace asuca {
 
@@ -89,6 +90,7 @@ class TaskLayer {
 
   private:
     void worker(std::size_t index) {
+        obs::name_this_thread("task worker");
         std::uint64_t seen_epoch = 0;
         for (;;) {
             const std::function<void(std::size_t)>* job = nullptr;
@@ -103,6 +105,8 @@ class TaskLayer {
             }
             std::exception_ptr err;
             try {
+                obs::TraceSpan span("task", static_cast<long long>(index),
+                                    "task");
                 (*job)(index);
             } catch (...) {
                 err = std::current_exception();

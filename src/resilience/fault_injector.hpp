@@ -38,6 +38,8 @@
 
 #include "src/common/error.hpp"
 #include "src/core/state.hpp"
+#include "src/observability/metrics.hpp"
+#include "src/observability/trace.hpp"
 
 namespace asuca::resilience {
 
@@ -160,6 +162,18 @@ class FaultInjector {
                               f.j < a.ny() && f.k >= 0 && f.k < a.nz(),
                           "fault plan cell out of range");
             corrupt_value(a(f.i, f.j, f.k), f.kind);
+            if (obs::trace_enabled()) {
+                char ev[obs::kTraceNameChars];
+                std::snprintf(ev, sizeof(ev), "%s r%lld",
+                              fault_kind_name(f.kind),
+                              static_cast<long long>(f.rank));
+                obs::trace_instant(ev, "resilience");
+            }
+            if (obs::metrics_enabled()) {
+                obs::MetricsRegistry::global()
+                    .counter("resilience.faults_injected")
+                    .add();
+            }
             fired_[n] = 1;
             ++n_applied;
             if (log != nullptr) {

@@ -1,0 +1,132 @@
+// StepHooks: ordered multi-subscriber semantics, removal by handle, and
+// the deprecated single-observer shims on both drivers (these are the
+// shim's own tests — everything else in the repo subscribes through
+// step_hooks() directly).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/multidomain.hpp"
+#include "src/core/scenarios.hpp"
+#include "src/observability/step_hooks.hpp"
+
+namespace asuca {
+namespace {
+
+TEST(StepHooks, FiresInSubscriptionOrder) {
+    obs::StepHooks<int> hooks;
+    std::vector<std::string> order;
+    hooks.add([&](int v) { order.push_back("a" + std::to_string(v)); });
+    hooks.add([&](int v) { order.push_back("b" + std::to_string(v)); });
+    hooks.add([&](int v) { order.push_back("c" + std::to_string(v)); });
+    hooks.notify(1);
+    hooks.notify(2);
+    EXPECT_EQ(order, (std::vector<std::string>{"a1", "b1", "c1", "a2", "b2",
+                                               "c2"}));
+}
+
+TEST(StepHooks, RemoveByHandleKeepsOthersFiring) {
+    obs::StepHooks<> hooks;
+    int a = 0, b = 0, c = 0;
+    const auto ha = hooks.add([&] { ++a; });
+    const auto hb = hooks.add([&] { ++b; });
+    hooks.add([&] { ++c; });
+    EXPECT_EQ(hooks.size(), 3u);
+
+    EXPECT_TRUE(hooks.remove(hb));
+    hooks.notify();
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(c, 1);
+
+    // Unknown / already-removed handles are rejected, not UB.
+    EXPECT_FALSE(hooks.remove(hb));
+    EXPECT_FALSE(hooks.remove(0));
+    EXPECT_TRUE(hooks.remove(ha));
+    hooks.notify();
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(c, 2);
+}
+
+TEST(StepHooks, HandlesAreNeverReused) {
+    obs::StepHooks<> hooks;
+    const auto h1 = hooks.add([] {});
+    EXPECT_TRUE(hooks.remove(h1));
+    const auto h2 = hooks.add([] {});
+    EXPECT_NE(h1, h2);
+    EXPECT_NE(h2, 0u);
+}
+
+TEST(StepHooks, EmptyFunctionHoldsSlotButNeverFires) {
+    obs::StepHooks<> hooks;
+    const auto h = hooks.add(obs::StepHooks<>::Fn{});
+    hooks.notify();  // must not throw on the empty std::function
+    EXPECT_EQ(hooks.size(), 1u);
+    EXPECT_TRUE(hooks.remove(h));
+    EXPECT_TRUE(hooks.empty());
+}
+
+// The deprecated shims must preserve the legacy single-slot semantics
+// (set replaces, nullptr detaches) without evicting other subscribers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(StepHooks, StepperShimReplacesAndDetaches) {
+    auto cfg = scenarios::warm_bubble_config<double>(8, 8, 8);
+    AsucaModel<double> model(cfg);
+    scenarios::init_warm_bubble(model);
+
+    int direct = 0, shim_a = 0, shim_b = 0;
+    model.stepper().step_hooks().add([&](const State<double>&) { ++direct; });
+
+    model.stepper().set_step_observer(
+        [&](const State<double>&) { ++shim_a; });
+    model.step();
+    // Set REPLACES the shim's subscription (legacy single-slot behavior).
+    model.stepper().set_step_observer(
+        [&](const State<double>&) { ++shim_b; });
+    model.step();
+    // nullptr DETACHES it; the direct subscriber keeps firing.
+    model.stepper().set_step_observer(nullptr);
+    model.step();
+
+    EXPECT_EQ(shim_a, 1);
+    EXPECT_EQ(shim_b, 1);
+    EXPECT_EQ(direct, 3);
+}
+
+TEST(StepHooks, RunnerShimReplacesAndDetaches) {
+    GridSpec spec;
+    spec.nx = 16;
+    spec.ny = 8;
+    spec.nz = 8;
+    TimeStepperConfig scfg;
+    scfg.dt = 1.0;
+    scfg.n_short_steps = 2;
+    const SpeciesSet species = SpeciesSet::dry();
+    Grid<double> grid(spec);
+    State<double> global(grid, species);
+    initialize_hydrostatic(grid, AtmosphereProfile::constant_n(292.0, 0.011),
+                           0.0, 0.0, global);
+
+    cluster::MultiDomainRunner<double> runner(spec, 2, 1, species, scfg);
+    runner.scatter(global);
+
+    int direct = 0, shim = 0;
+    runner.step_hooks().add(
+        [&](cluster::MultiDomainRunner<double>&) { ++direct; });
+    runner.set_step_observer(
+        [&](cluster::MultiDomainRunner<double>&) { ++shim; });
+    runner.step();
+    runner.set_step_observer(nullptr);
+    runner.step();
+
+    EXPECT_EQ(shim, 1);
+    EXPECT_EQ(direct, 2);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace asuca

@@ -2,7 +2,7 @@
 // disabled) must be conserved to round-off per step by the flux-form
 // dycore under periodic boundaries; the rank-summed invariants of a
 // decomposed run must agree with the single-domain integrals; and the
-// TimeStepper/MultiDomain step observers must fire exactly once per step.
+// TimeStepper/MultiDomain step hooks must fire exactly once per step.
 #include <gtest/gtest.h>
 
 #include "src/cluster/multidomain.hpp"
@@ -20,7 +20,7 @@ TEST(ConservationLedger, MassConservedToRoundoffPerStep) {
 
     ConservationLedger ledger;
     ledger.record(compute_invariants(model.grid(), model.state(), 0.0));
-    model.stepper().set_step_observer([&](const State<double>& s) {
+    model.stepper().step_hooks().add([&](const State<double>& s) {
         ledger.record(compute_invariants(model.grid(), s));
     });
     model.run(10);
@@ -45,7 +45,7 @@ TEST(ConservationLedger, TracerMassConservedWithoutClipping) {
 
     ConservationLedger ledger;
     ledger.record(compute_invariants(model.grid(), model.state(), 0.0));
-    model.stepper().set_step_observer([&](const State<double>& s) {
+    model.stepper().step_hooks().add([&](const State<double>& s) {
         ledger.record(compute_invariants(model.grid(), s));
     });
     model.run(6);
@@ -80,7 +80,7 @@ TEST(ConservationLedger, RankSumInvariantsMatchSingleDomain) {
     cluster::MultiDomainRunner<double> runner(spec, 2, 2, species, scfg);
     runner.scatter(global);
     int observed = 0;
-    runner.set_step_observer(
+    runner.step_hooks().add(
         [&](cluster::MultiDomainRunner<double>&) { ++observed; });
     for (int n = 0; n < 3; ++n) runner.step();
     EXPECT_EQ(observed, 3);
@@ -129,10 +129,10 @@ TEST(ConservationLedger, ObserverIsDetachable) {
     AsucaModel<double> model(cfg);
     scenarios::init_warm_bubble(model);
     int fired = 0;
-    model.stepper().set_step_observer(
+    const auto sub = model.stepper().step_hooks().add(
         [&](const State<double>&) { ++fired; });
     model.step();
-    model.stepper().set_step_observer(nullptr);
+    EXPECT_TRUE(model.stepper().step_hooks().remove(sub));
     model.step();
     EXPECT_EQ(fired, 1);
 }
