@@ -16,6 +16,7 @@
 
 #include "bench/bench_util.hpp"
 #include "src/core/model.hpp"
+#include "src/field/simd.hpp"
 #include "src/instrument/kernel_registry.hpp"
 #include "src/parallel/thread_pool.hpp"
 
@@ -31,8 +32,11 @@ struct RunResult {
 };
 
 /// Time `steps` long steps of the benchmark configuration at `mesh` with
-/// the global pool set to `threads`, returning per-step kernel records.
-RunResult run_at(Int3 mesh, std::size_t threads, int steps) {
+/// the global pool set to `threads` and the acoustic column-batch width
+/// forced to `column_batch` (0 = auto/env, 1 = scalar sweep), returning
+/// per-step kernel records.
+RunResult run_at(Int3 mesh, std::size_t threads, int steps,
+                 Index column_batch = 0) {
     ThreadPool::set_global_threads(threads);
 
     ModelConfig<double> cfg;
@@ -42,6 +46,7 @@ RunResult run_at(Int3 mesh, std::size_t threads, int steps) {
     cfg.grid.ny = mesh.y;
     cfg.grid.nz = mesh.z;
     cfg.stepper = ref.stepper;
+    cfg.stepper.acoustic.column_batch = column_batch;
     cfg.kessler = ref.kessler;
     cfg.microphysics = ref.microphysics;
     cfg.species = ref.species;
@@ -110,9 +115,37 @@ int main(int argc, char** argv) {
                     100.0 * sp / static_cast<double>(r.threads));
     }
 
+    // Solver A/B at max threads: legacy scalar column-at-a-time sweep
+    // (column_batch = 1) vs the batched/vectorized path the sweep above
+    // used. The batched numbers are reused from the thread sweep so the
+    // A/B and the scaling table describe the same run.
+    const Index batch_w = resolve_column_batch<double>(0);
+    const RunResult scalar_run = run_at(mesh, sweep.back(), steps, 1);
+    const auto& best = results.back();
+    auto kernel_seconds = [](const RunResult& r, const std::string& name) {
+        for (const auto& k : r.kernels)
+            if (k.name == name) return k.seconds;
+        return 0.0;
+    };
+    std::printf("\n  column-batch A/B at %zu thread%s (W = %lld):\n",
+                best.threads, best.threads == 1 ? "" : "s",
+                static_cast<long long>(batch_w));
+    std::printf("%-26s %14s %14s %10s\n", "", "scalar [ms]", "batched [ms]",
+                "speedup");
+    auto ab_row = [&](const std::string& name, double s, double b) {
+        std::printf("%-26s %14.3f %14.3f %9.2fx\n", name.c_str(), 1e3 * s,
+                    1e3 * b, b > 0 ? s / b : 0.0);
+    };
+    ab_row("whole step", scalar_run.seconds_per_step, best.seconds_per_step);
+    for (const char* name : {"helmholtz_1d", "theta_update_half"})
+        ab_row(name, kernel_seconds(scalar_run, name),
+               kernel_seconds(best, name));
+
     // Per-kernel measured time at max threads vs the roofline model on
     // the paper's baseline core (Opteron, double precision, kij layout).
-    const auto& best = results.back();
+    // Per-kernel FLOPs come from the CountingReal calibration run scaled
+    // to this mesh (the bench itself runs plain doubles, so its registry
+    // records carry no counts).
     const auto cpu_model = make_model(gpusim::DeviceSpec::opteron_core(),
                                       Precision::Double, Layout::ZXY);
     const double scale = static_cast<double>(mesh.volume()) /
@@ -124,17 +157,25 @@ int main(int argc, char** argv) {
             if (k.name == name) return k.seconds;
         return 0.0;
     };
+    auto calibrated_flops = [&](const std::string& name) {
+        for (const auto& k : calibration().records)
+            if (k.name == name)
+                return static_cast<double>(k.flops) * scale;
+        return 0.0;
+    };
 
     std::vector<KernelRecord> kernels = best.kernels;
     std::sort(kernels.begin(), kernels.end(),
               [](const KernelRecord& a, const KernelRecord& b) {
                   return a.seconds > b.seconds;
               });
-    std::printf("\n%-26s %14s %16s\n", "kernel",
-                "measured [ms]", "Opteron model [ms]");
+    std::printf("\n%-26s %14s %16s %10s\n", "kernel", "measured [ms]",
+                "Opteron model [ms]", "GFlop/s");
     for (const auto& k : kernels) {
-        std::printf("%-26s %14.3f %16.3f\n", k.name.c_str(),
-                    1e3 * k.seconds, 1e3 * modeled_seconds(k.name));
+        const double fl = calibrated_flops(k.name);
+        std::printf("%-26s %14.3f %16.3f %10.2f\n", k.name.c_str(),
+                    1e3 * k.seconds, 1e3 * modeled_seconds(k.name),
+                    k.seconds > 0 ? fl / k.seconds / 1e9 : 0.0);
     }
 
     // Machine-readable output for the driver.
@@ -155,13 +196,26 @@ int main(int argc, char** argv) {
         runs.push_back(std::move(row));
     }
     doc.set("runs", std::move(runs));
+    io::JsonValue ab;
+    ab.set("threads", static_cast<long long>(best.threads));
+    ab.set("column_batch_width", static_cast<long long>(batch_w));
+    ab.set("scalar_seconds_per_step", scalar_run.seconds_per_step);
+    ab.set("batched_seconds_per_step", best.seconds_per_step);
+    ab.set("scalar_helmholtz_seconds",
+           kernel_seconds(scalar_run, "helmholtz_1d"));
+    ab.set("batched_helmholtz_seconds", kernel_seconds(best, "helmholtz_1d"));
+    ab.set("scalar_theta_half_seconds",
+           kernel_seconds(scalar_run, "theta_update_half"));
+    ab.set("batched_theta_half_seconds",
+           kernel_seconds(best, "theta_update_half"));
+    doc.set("column_batch_ab", std::move(ab));
     io::JsonArray ks;
     for (const auto& k : kernels) {
         io::JsonValue row;
         row.set("name", k.name);
         row.set("measured_seconds", k.seconds);
         row.set("modeled_opteron_seconds", modeled_seconds(k.name));
-        row.set("flops", static_cast<double>(k.flops));
+        row.set("flops", calibrated_flops(k.name));
         ks.push_back(std::move(row));
     }
     doc.set("kernels_at_max_threads", std::move(ks));

@@ -23,6 +23,7 @@
 // noise) weights the implicit terms.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "src/common/constants.hpp"
@@ -32,6 +33,7 @@
 #include "src/core/state.hpp"
 #include "src/core/tendencies.hpp"
 #include "src/core/tridiagonal.hpp"
+#include "src/field/simd.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/grid/grid.hpp"
 #include "src/instrument/kernel_registry.hpp"
@@ -48,6 +50,17 @@ struct AcousticConfig {
     /// bitwise identical either way (asserted by the overlap tests); the
     /// fused pass reads the shared dw/dv3 operands once.
     bool fuse_density_theta = false;
+    /// Column-batch width of the vertical implicit solve (the CPU analogue
+    /// of the paper's kij->xzy layout change, Sec. IV-A-1): W columns are
+    /// swept simultaneously with the column index innermost and
+    /// unit-stride, so the Thomas recurrences auto-vectorize.
+    ///   0   — auto: ASUCA_COLUMN_BATCH env override, else the SIMD
+    ///         default (field/simd.hpp);
+    ///   1   — the original scalar one-column-at-a-time sweep;
+    ///   W>1 — batched with exactly W columns per sweep.
+    /// Every width produces bitwise-identical results on default builds
+    /// (each lane runs the scalar op sequence; see DESIGN.md).
+    Index column_batch = 0;
 };
 
 template <class T>
@@ -78,11 +91,15 @@ class AcousticStepper {
                   grid.layout()),
           cv3_(center_shape(grid), grid.halo(), grid.layout()),
           rv3_(center_shape(grid), grid.halo(), grid.layout()),
-          dv3_(center_shape(grid), grid.halo(), grid.layout()) {
+          dv3_(center_shape(grid), grid.halo(), grid.layout()),
+          batch_w_(resolve_column_batch<T>(config.column_batch)) {
         ASUCA_REQUIRE(config.beta >= 0.5 && config.beta <= 1.0,
                       "acoustic beta must be in [0.5, 1], got "
                           << config.beta);
     }
+
+    /// Resolved column-batch width (config / env / SIMD default).
+    Index column_batch_width() const { return batch_w_; }
 
     /// Freeze the linearization coefficients at the RK-stage state.
     void prepare(const State<T>& bar) {
@@ -252,6 +269,8 @@ class AcousticStepper {
         const auto& jc = grid_.jacobian();
         const auto& jxf = grid_.jacobian_xface();
         const auto& jyf = grid_.jacobian_yface();
+        const auto& zx = grid_.slope_x_zface();
+        const auto& zy = grid_.slope_y_zface();
         const T half_dtau = T(0.5 * dtau);
 
         {
@@ -260,14 +279,38 @@ class AcousticStepper {
                               static_cast<std::uint64_t>(
                                   (i1 - i0) * (j1 - j0) * nz));
             parallel_for_range(j0, j1, [&](Index jb, Index je) {
+            // Rolling buffers of the vertical deviation flux at the two
+            // faces bracketing level k (deviation_fz values, computed once
+            // per face instead of twice per cell). The inner i loops are
+            // unit-stride under Layout::XZY and carry no branches, so they
+            // auto-vectorize; per-cell arithmetic is unchanged, hence
+            // bitwise identical to the unbuffered form.
+            const auto wi = static_cast<std::size_t>(i1 - i0);
+            std::vector<T> fz_lo(wi), fz_hi(wi);
             for (Index j = jb; j < je; ++j) {
+                std::fill(fz_lo.begin(), fz_lo.end(), T(0));  // bottom face
                 for (Index k = 0; k < nz; ++k) {
                     const T rdz = T(1.0 / grid_.dzeta(k));
+                    const Index kf = k + 1;  // upper face of level k
+                    if (kf >= nz) {
+                        std::fill(fz_hi.begin(), fz_hi.end(), T(0));
+                    } else {
+                        for (Index i = i0; i < i1; ++i) {
+                            const T ru =
+                                T(0.25) *
+                                (du_(i, j, kf - 1) + du_(i + 1, j, kf - 1) +
+                                 du_(i, j, kf) + du_(i + 1, j, kf));
+                            const T rv =
+                                T(0.25) *
+                                (dv_(i, j, kf - 1) + dv_(i, j + 1, kf - 1) +
+                                 dv_(i, j, kf) + dv_(i, j + 1, kf));
+                            fz_hi[static_cast<std::size_t>(i - i0)] =
+                                dw_(i, j, kf) - ru * zx(i, j, kf) -
+                                rv * zy(i, j, kf);
+                        }
+                    }
                     for (Index i = i0; i < i1; ++i) {
-                        // Vertical deviation flux at faces k and k+1 with
-                        // the metric cross term, zero at the boundaries.
-                        const T fz_lo = deviation_fz(i, j, k);
-                        const T fz_hi = deviation_fz(i, j, k + 1);
+                        const auto l = static_cast<std::size_t>(i - i0);
                         const T div =
                             (jxf(i + 1, j, k) * thf_x_(i + 1, j, k) *
                                  du_(i + 1, j, k) -
@@ -277,8 +320,8 @@ class AcousticStepper {
                                  dv_(i, j + 1, k) -
                              jyf(i, j, k) * thf_y_(i, j, k) * dv_(i, j, k)) *
                                 rdy +
-                            (thf_z_(i, j, k + 1) * fz_hi -
-                             thf_z_(i, j, k) * fz_lo) *
+                            (thf_z_(i, j, k + 1) * fz_hi[l] -
+                             thf_z_(i, j, k) * fz_lo[l]) *
                                 rdz;
                         const T dth_half =
                             dth_(i, j, k) +
@@ -286,6 +329,7 @@ class AcousticStepper {
                                          div / jc(i, j, k));
                         dp_half_(i, j, k) = cpt_(i, j, k) * dth_half;
                     }
+                    fz_lo.swap(fz_hi);
                 }
             }
             });
@@ -395,10 +439,25 @@ class AcousticStepper {
         return ru * zx(i, j, k) + rv * zy(i, j, k);
     }
 
-    /// Phase 3: build and solve the vertical implicit (Helmholtz) system
-    /// column by column, then update rho', theta', p'. Caller must refresh
-    /// the halos of all deviations afterwards.
+    /// Phase 3: build and solve the vertical implicit (Helmholtz) system,
+    /// then update rho', theta', p'. Caller must refresh the halos of all
+    /// deviations afterwards. Dispatches between the original scalar
+    /// one-column-at-a-time sweep (width 1) and the column-batched sweep
+    /// (width W columns marched simultaneously); both produce bitwise
+    /// identical results on default builds.
     void phase_vertical_implicit(const Tendencies<T>& slow, double dtau) {
+        if (batch_w_ == 1) {
+            phase_vertical_implicit_scalar(slow, dtau);
+        } else {
+            phase_vertical_implicit_batched(slow, dtau, batch_w_);
+        }
+        update_after_implicit();
+    }
+
+    /// The original one-column-at-a-time Helmholtz sweep (kept as the
+    /// reference implementation the batched path is tested against).
+    void phase_vertical_implicit_scalar(const Tendencies<T>& slow,
+                                        double dtau) {
         const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
         const T rdx = T(1.0 / grid_.dx());
         const T rdy = T(1.0 / grid_.dy());
@@ -529,13 +588,197 @@ class AcousticStepper {
         }
         });
         }  // helmholtz_1d scope
+    }
 
-        // Final rho', theta', p' with the beta-averaged new W'. The fused
-        // variant (paper Sec. V-A method 3 "logical fusion") performs all
-        // three updates in one streaming pass so the shared dw/dv3 operands
-        // are read once and the density update rides in the theta kernel's
-        // window; per-cell arithmetic is unchanged, so both variants are
-        // bitwise identical (asserted by tests/test_multidomain_overlap).
+    /// Column-batched Helmholtz sweep: march `width` columns of one j-row
+    /// simultaneously over interleaved column-block workspaces (lane index
+    /// innermost and unit-stride, the CPU analogue of the paper's xzy
+    /// storage order, Sec. IV-A-1). Public with an explicit width so tests
+    /// can pin any W — including W=1 — against the scalar sweep.
+    void phase_vertical_implicit_batched(const Tendencies<T>& slow,
+                                         double dtau, Index width) {
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+        const T rdx = T(1.0 / grid_.dx());
+        const T rdy = T(1.0 / grid_.dy());
+        const auto& jc = grid_.jacobian();
+        const auto& jzf = grid_.jacobian_zface();
+        const auto& jxf = grid_.jacobian_xface();
+        const auto& jyf = grid_.jacobian_yface();
+        const auto& zx = grid_.slope_x_zface();
+        const auto& zy = grid_.slope_y_zface();
+        const T beta = T(cfg_.beta);
+        const T one_m_beta = T(1.0) - beta;
+        const T g = T(constants::g);
+        const T dt = T(dtau);
+        const T hgb = T(0.5) * dt * g * beta;
+
+        const auto n = static_cast<std::size_t>(nz);
+        const auto W = static_cast<std::size_t>(width);
+
+        KernelScope scope("helmholtz_1d", {/*reads=*/12, /*writes=*/4, 12},
+                          static_cast<std::uint64_t>(nx * ny * nz));
+        parallel_for(ny, [&](Index jb, Index je) {
+        // Interleaved column-block workspaces: level k of lane l lives at
+        // k*W + l, so every inner lane loop below is unit-stride and
+        // auto-vectorizes. Allocated once per j-slab.
+        std::vector<T> fzs((n + 1) * W);
+        std::vector<T> Dv(n * W), Rv(n * W), Cv(n * W);
+        std::vector<T> sub(n * W), dia(n * W), sup(n * W), rhs(n * W),
+            scratch(n * W), betav(W);
+        for (Index j = jb; j < je; ++j) {
+            for (Index ib = 0; ib < nx; ib += width) {
+                const Index iw = std::min(width, nx - ib);
+                const auto w = static_cast<std::size_t>(iw);
+                // Vertical deviation fluxes at interior faces (zero at the
+                // bottom/top faces), lane-interleaved.
+                for (std::size_t l = 0; l < w; ++l) {
+                    fzs[l] = T(0);
+                    fzs[n * W + l] = T(0);
+                }
+                for (Index k = 1; k < nz; ++k) {
+                    const std::size_t row = static_cast<std::size_t>(k) * W;
+                    for (Index l = 0; l < iw; ++l) {
+                        const Index i = ib + l;
+                        const T ru =
+                            T(0.25) *
+                            (du_(i, j, k - 1) + du_(i + 1, j, k - 1) +
+                             du_(i, j, k) + du_(i + 1, j, k));
+                        const T rv =
+                            T(0.25) *
+                            (dv_(i, j, k - 1) + dv_(i, j + 1, k - 1) +
+                             dv_(i, j, k) + dv_(i, j + 1, k));
+                        fzs[row + static_cast<std::size_t>(l)] =
+                            one_m_beta * dw_(i, j, k) -
+                            (ru * zx(i, j, k) + rv * zy(i, j, k));
+                    }
+                }
+                // Explicit parts of the continuity and theta updates.
+                for (Index k = 0; k < nz; ++k) {
+                    const std::size_t row = static_cast<std::size_t>(k) * W;
+                    const T rdz = T(1.0 / grid_.dzeta(k));
+                    for (Index l = 0; l < iw; ++l) {
+                        const Index i = ib + l;
+                        const auto lu = static_cast<std::size_t>(l);
+                        Dv[row + lu] = dt * beta * rdz / jc(i, j, k);
+                        const T hdiv_rho =
+                            (jxf(i + 1, j, k) * du_(i + 1, j, k) -
+                             jxf(i, j, k) * du_(i, j, k)) *
+                                rdx +
+                            (jyf(i, j + 1, k) * dv_(i, j + 1, k) -
+                             jyf(i, j, k) * dv_(i, j, k)) *
+                                rdy;
+                        const T hdiv_th =
+                            (jxf(i + 1, j, k) * thf_x_(i + 1, j, k) *
+                                 du_(i + 1, j, k) -
+                             jxf(i, j, k) * thf_x_(i, j, k) * du_(i, j, k)) *
+                                rdx +
+                            (jyf(i, j + 1, k) * thf_y_(i, j + 1, k) *
+                                 dv_(i, j + 1, k) -
+                             jyf(i, j, k) * thf_y_(i, j, k) * dv_(i, j, k)) *
+                                rdy;
+                        const T hrho = -hdiv_rho / jc(i, j, k);
+                        const T hth = -hdiv_th / jc(i, j, k);
+                        const T vflux_rho =
+                            (fzs[row + W + lu] - fzs[row + lu]) * rdz /
+                            jc(i, j, k);
+                        const T vflux_th =
+                            (thf_z_(i, j, k + 1) * fzs[row + W + lu] -
+                             thf_z_(i, j, k) * fzs[row + lu]) *
+                            rdz / jc(i, j, k);
+                        Rv[row + lu] =
+                            drho_(i, j, k) +
+                            dt * (hrho + slow.rho(i, j, k) - vflux_rho);
+                        Cv[row + lu] =
+                            dth_(i, j, k) +
+                            dt * (hth + slow.rhotheta(i, j, k) - vflux_th);
+                    }
+                }
+                // Assemble the tridiagonal systems for W' at faces
+                // 1..nz-1 (system row k-1, lane-interleaved).
+                for (Index k = 1; k < nz; ++k) {
+                    const std::size_t row =
+                        static_cast<std::size_t>(k - 1) * W;
+                    const std::size_t ku = row + W;  // level k block
+                    const std::size_t km = row;      // level k-1 block
+                    const T dzc = T(grid_.zeta_center(k) -
+                                    grid_.zeta_center(k - 1));
+                    for (Index l = 0; l < iw; ++l) {
+                        const Index i = ib + l;
+                        const auto lu = static_cast<std::size_t>(l);
+                        const T gk = dt / (jzf(i, j, k) * dzc);
+                        const T cpt_k = cpt_(i, j, k);
+                        const T cpt_m = cpt_(i, j, k - 1);
+                        const T gb = gk * beta;
+                        const T thf_m = thf_z_(i, j, k - 1);
+                        const T thf_k = thf_z_(i, j, k);
+                        const T thf_p = thf_z_(i, j, k + 1);
+                        T a = -gb * cpt_m * Dv[km + lu] * thf_m +
+                              hgb * Dv[km + lu];
+                        T b = T(1) +
+                              gb * (cpt_k * Dv[ku + lu] * thf_k +
+                                    cpt_m * Dv[km + lu] * thf_k) +
+                              hgb * (Dv[ku + lu] - Dv[km + lu]);
+                        T c = -gb * cpt_k * Dv[ku + lu] * thf_p -
+                              hgb * Dv[ku + lu];
+                        T r = dw_(i, j, k) + dt * slow.rhow(i, j, k) -
+                              gk * (beta * (cpt_k * Cv[ku + lu] -
+                                            cpt_m * Cv[km + lu]) +
+                                    one_m_beta *
+                                        (dp_(i, j, k) - dp_(i, j, k - 1))) -
+                              dt * g *
+                                  (beta * T(0.5) *
+                                       (Rv[km + lu] + Rv[ku + lu]) +
+                                   one_m_beta * T(0.5) *
+                                       (drho_(i, j, k - 1) +
+                                        drho_(i, j, k)));
+                        // Boundary folds: W'_0 and W'_nz carry no flux.
+                        if (k == 1) a = T(0);
+                        if (k == nz - 1) c = T(0);
+                        sub[row + lu] = a;
+                        dia[row + lu] = b;
+                        sup[row + lu] = c;
+                        rhs[row + lu] = r;
+                    }
+                }
+                solve_tridiagonal_batched<T>(sub.data(), dia.data(),
+                                             sup.data(), rhs.data(),
+                                             scratch.data(), betav.data(),
+                                             n - 1, w, W);
+                for (Index k = 1; k < nz; ++k) {
+                    const std::size_t row =
+                        static_cast<std::size_t>(k - 1) * W;
+                    for (Index l = 0; l < iw; ++l) {
+                        dw_(ib + l, j, k) =
+                            rhs[row + static_cast<std::size_t>(l)];
+                    }
+                }
+                for (Index l = 0; l < iw; ++l) dw_(ib + l, j, nz) = T(0);
+                // Stash the explicit parts for the update kernels.
+                for (Index k = 0; k < nz; ++k) {
+                    const std::size_t row = static_cast<std::size_t>(k) * W;
+                    for (Index l = 0; l < iw; ++l) {
+                        const Index i = ib + l;
+                        const auto lu = static_cast<std::size_t>(l);
+                        cv3_(i, j, k) = Cv[row + lu];
+                        rv3_(i, j, k) = Rv[row + lu];
+                        dv3_(i, j, k) = Dv[row + lu];
+                    }
+                }
+            }
+        }
+        });
+    }
+
+  private:
+    /// Final rho', theta', p' updates with the beta-averaged new W'
+    /// (shared by the scalar and batched sweeps). The fused
+    /// variant (paper Sec. V-A method 3 "logical fusion") performs all
+    /// three updates in one streaming pass so the shared dw/dv3 operands
+    /// are read once and the density update rides in the theta kernel's
+    /// window; per-cell arithmetic is unchanged, so both variants are
+    /// bitwise identical (asserted by tests/test_multidomain_overlap).
+    void update_after_implicit() {
+        const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
         if (cfg_.fuse_density_theta) {
             KernelScope scope("density_theta_fused",
                               {/*reads=*/6, /*writes=*/3, 6},
@@ -603,6 +846,7 @@ class AcousticStepper {
         }
     }
 
+  public:
     /// Fill all deviation halos with the lateral BC (single-domain path).
     void apply_bcs(LateralBc bc) {
         const Index nx = grid_.nx(), ny = grid_.ny();
@@ -625,6 +869,7 @@ class AcousticStepper {
     // Workspace.
     Array3<T> dp_half_, tend_u_, tend_v_;
     Array3<T> cv3_, rv3_, dv3_;  ///< explicit parts of the implicit update
+    Index batch_w_;  ///< resolved column-batch width (1 = scalar sweep)
 };
 
 }  // namespace asuca

@@ -13,6 +13,8 @@
 // and the acoustic step (deviation p'') reuse them.
 #pragma once
 
+#include <vector>
+
 #include "src/common/constants.hpp"
 #include "src/core/state.hpp"
 #include "src/field/array3.hpp"
@@ -39,7 +41,12 @@ void pgf_x_rows(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhou,
     const auto& hs = grid.hsurf();
 
     parallel_for_range(j0, j1, [&](Index jb, Index je) {
+        // Surface slope at the x-faces of one row, hoisted out of the k
+        // loop (the slope is level-independent before the decay factor).
+        std::vector<T> sl(static_cast<std::size_t>(nx));
         for (Index j = jb; j < je; ++j) {
+            for (Index i = 0; i < nx; ++i)
+                sl[i] = (hs(i, j) - hs(i - 1, j)) * rdx;
             for (Index k = 0; k < nz; ++k) {
                 // zeta derivative spacing (centered; one-sided at the ends).
                 const Index km = (k > 0) ? k - 1 : k;
@@ -50,7 +57,7 @@ void pgf_x_rows(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhou,
                 for (Index i = 0; i < nx; ++i) {
                     const T dpdx = (p(i, j, k) - p(i - 1, j, k)) * rdx;
                     // Terrain slope at the x-face, at this level.
-                    const T zx = (hs(i, j) - hs(i - 1, j)) * rdx * decay;
+                    const T zx = sl[i] * decay;
                     const T dpdzeta =
                         T(0.5) *
                         ((p(i - 1, j, kp) - p(i - 1, j, km)) +
@@ -84,7 +91,10 @@ void pgf_y_rows(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhov,
     const auto& hs = grid.hsurf();
 
     parallel_for_range(j0, j1, [&](Index jb, Index je) {
+        std::vector<T> sl(static_cast<std::size_t>(nx));
         for (Index j = jb; j < je; ++j) {
+            for (Index i = 0; i < nx; ++i)
+                sl[i] = (hs(i, j) - hs(i, j - 1)) * rdy;
             for (Index k = 0; k < nz; ++k) {
                 const Index km = (k > 0) ? k - 1 : k;
                 const Index kp = (k < nz - 1) ? k + 1 : k;
@@ -93,7 +103,7 @@ void pgf_y_rows(const Grid<T>& grid, const Array3<T>& p, Array3<T>& tend_rhov,
                 const T decay = T(grid.decay(grid.zeta_center(k)));
                 for (Index i = 0; i < nx; ++i) {
                     const T dpdy = (p(i, j, k) - p(i, j - 1, k)) * rdy;
-                    const T zy = (hs(i, j) - hs(i, j - 1)) * rdy * decay;
+                    const T zy = sl[i] * decay;
                     const T dpdzeta =
                         T(0.5) *
                         ((p(i, j - 1, kp) - p(i, j - 1, km)) +

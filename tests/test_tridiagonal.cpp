@@ -92,6 +92,109 @@ TEST(Tridiagonal, SecondDifferenceOperator) {
     }
 }
 
+/// Generate `w` independent random diagonally-dominant systems of size
+/// `n`, solve each with the scalar sweep, then solve all of them with one
+/// batched sweep over an interleaved workspace of lane stride `stride`
+/// (>= w: the remainder blocks of the acoustic gather loop run w < stride)
+/// and require the per-lane results to match the scalar sweep EXACTLY —
+/// each lane executes the identical operation sequence, so on the default
+/// build (no implicit FMA contraction) the bound is 0 ULP.
+void check_batched_matches_scalar(std::size_t n, std::size_t w,
+                                  std::size_t stride, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+    std::vector<double> lower(n * stride, 0.0), diag(n * stride, 0.0),
+        upper(n * stride, 0.0), rhs(n * stride, 0.0),
+        scratch(n * stride, 0.0), beta(stride, 0.0);
+    std::vector<std::vector<double>> expected(w);
+    for (std::size_t l = 0; l < w; ++l) {
+        std::vector<double> lo(n), di(n), up(n), x(n), sc(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            lo[k] = dist(rng);
+            up[k] = dist(rng);
+            di[k] = 3.0 + std::abs(dist(rng));
+            x[k] = dist(rng) * 5.0;
+            lower[k * stride + l] = lo[k];
+            diag[k * stride + l] = di[k];
+            upper[k * stride + l] = up[k];
+            rhs[k * stride + l] = x[k];
+        }
+        solve_tridiagonal<double>(lo, di, up, x, sc);
+        expected[l] = std::move(x);
+    }
+
+    solve_tridiagonal_batched<double>(lower.data(), diag.data(), upper.data(),
+                                      rhs.data(), scratch.data(), beta.data(),
+                                      n, w, stride);
+    for (std::size_t l = 0; l < w; ++l) {
+        for (std::size_t k = 0; k < n; ++k) {
+            EXPECT_EQ(rhs[k * stride + l], expected[l][k])
+                << "lane " << l << " level " << k << " (n=" << n
+                << " w=" << w << " stride=" << stride << ")";
+        }
+    }
+}
+
+TEST(TridiagonalBatched, FullWidthFourMatchesScalarExactly) {
+    check_batched_matches_scalar(48, 4, 4, 7);
+}
+
+TEST(TridiagonalBatched, FullWidthEightMatchesScalarExactly) {
+    check_batched_matches_scalar(33, 8, 8, 11);
+}
+
+TEST(TridiagonalBatched, OddRemainderWidthMatchesScalarExactly) {
+    // Partial blocks: w active lanes inside a wider stride, as produced
+    // at the east edge of the acoustic gather loop.
+    check_batched_matches_scalar(48, 3, 8, 13);
+    check_batched_matches_scalar(16, 5, 8, 17);
+    check_batched_matches_scalar(47, 7, 8, 19);
+}
+
+TEST(TridiagonalBatched, SingleLaneMatchesScalarExactly) {
+    check_batched_matches_scalar(48, 1, 1, 23);
+    check_batched_matches_scalar(48, 1, 8, 29);
+}
+
+TEST(TridiagonalBatched, SingleLevelSystems) {
+    check_batched_matches_scalar(1, 4, 4, 31);
+}
+
+TEST(TridiagonalBatched, MatchesDenseReference) {
+    // Independent accuracy check (not just scalar-equivalence): every
+    // lane of a batched solve agrees with dense Gaussian elimination.
+    const std::size_t n = 48, w = 8;
+    std::mt19937 rng(101);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<double> lower(n * w), diag(n * w), upper(n * w), rhs(n * w),
+        scratch(n * w), beta(w);
+    std::vector<std::vector<std::vector<double>>> dense(
+        w, std::vector<std::vector<double>>(n, std::vector<double>(n, 0.0)));
+    std::vector<std::vector<double>> b(w, std::vector<double>(n));
+    for (std::size_t l = 0; l < w; ++l) {
+        for (std::size_t k = 0; k < n; ++k) {
+            lower[k * w + l] = dist(rng);
+            upper[k * w + l] = dist(rng);
+            diag[k * w + l] = 3.0 + std::abs(dist(rng));
+            rhs[k * w + l] = b[l][k] = dist(rng) * 5.0;
+            dense[l][k][k] = diag[k * w + l];
+            if (k > 0) dense[l][k][k - 1] = lower[k * w + l];
+            if (k + 1 < n) dense[l][k][k + 1] = upper[k * w + l];
+        }
+    }
+    solve_tridiagonal_batched<double>(lower.data(), diag.data(), upper.data(),
+                                      rhs.data(), scratch.data(), beta.data(),
+                                      n, w, w);
+    for (std::size_t l = 0; l < w; ++l) {
+        const auto expected = dense_solve(dense[l], b[l]);
+        for (std::size_t k = 0; k < n; ++k) {
+            EXPECT_NEAR(rhs[k * w + l], expected[k], 1e-11)
+                << "lane " << l << " level " << k;
+        }
+    }
+}
+
 TEST(Tridiagonal, SinglePrecisionWorks) {
     std::vector<float> lower{0.f, 1.f, 1.f}, diag{4.f, 4.f, 4.f},
         upper{1.f, 1.f, 0.f}, rhs{5.f, 6.f, 5.f}, scratch(3);
