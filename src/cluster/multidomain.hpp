@@ -339,7 +339,7 @@ class MultiDomainRunner {
         }
     }
 
-    /// Checkpoint every rank's full padded state (v2 stream sections
+    /// Checkpoint every rank's full padded state (v3 stream sections
     /// behind a small decomposition header) for exact multi-domain
     /// restart: halos included, so a restarted runner replays bitwise.
     void save_checkpoint(const std::string& path) const {
@@ -353,6 +353,9 @@ class MultiDomainRunner {
         ASUCA_REQUIRE(out.good(), "checkpoint write failed: " << path);
     }
 
+    /// Transactional restore: every rank section deserializes (and
+    /// checksum-verifies) into staged copies first, so a truncated or
+    /// corrupted checkpoint throws without touching any rank's state.
     void load_checkpoint(const std::string& path) {
         std::ifstream in(path, std::ios::binary);
         ASUCA_REQUIRE(in.good(), "cannot open checkpoint " << path);
@@ -362,8 +365,14 @@ class MultiDomainRunner {
                       "checkpoint decomposition "
                           << hdr[0] << "x" << hdr[1]
                           << " does not match runner " << px_ << "x" << py_);
+        std::vector<State<T>> staged;
+        staged.reserve(static_cast<std::size_t>(rank_count()));
         for (Index r = 0; r < rank_count(); ++r) {
-            io::load_state(in, rank_state(r));
+            staged.push_back(rank_state(r));
+            io::load_state(in, staged.back());
+        }
+        for (Index r = 0; r < rank_count(); ++r) {
+            rank_state(r) = std::move(staged[static_cast<std::size_t>(r)]);
         }
         step_index_ = hdr[2];
         snapshot_.clear();  // stale rollback points

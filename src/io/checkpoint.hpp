@@ -1,11 +1,11 @@
-// Binary checkpoint / exact-restart of the model state (format v2).
+// Binary checkpoint / exact-restart of the model state (format v3).
 //
 // Production forecast systems restart bit-exactly from checkpoints; this
 // writes every prognostic and reference field (full padded extents, so a
 // restart needs no halo refill) plus shape/species metadata for
 // validation on load.
 //
-// v2 adds a named side-state section after the field arrays, carrying
+// v2 added a named side-state section after the field arrays, carrying
 // prognostic state that lives OUTSIDE State<T>: accumulated surface
 // precipitation (Kessler and per-species sedimentation accumulators) and
 // the model clock's step counter. A v1 restart silently zeroed all of
@@ -15,10 +15,26 @@
 // checkpoint from a configuration with different physics enabled fails
 // loudly instead of part-restoring.
 //
+// v3 appends an FNV-1a checksum to every payload section (each field
+// array and each side-state entry), so a bit-flipped byte anywhere in a
+// checkpoint is rejected with a clean error instead of silently restoring
+// corrupt physics. Old versions are rejected via the version field.
+//
+// Error-path guarantees (specified by the CheckpointRestartNegative
+// tests): a truncated file, a corrupted section length, a flipped payload
+// bit and a wrong-version header all throw asuca::Error. The FILE loader
+// load_checkpoint() is additionally TRANSACTIONAL — it stages into copies
+// and commits only after the whole file verified, so a failed load leaves
+// the destination state and side-state bitwise untouched. The side-state
+// section is staged-then-committed even on the stream path. The stream
+// loader's field arrays read in place (it deserializes trusted in-memory
+// snapshot buffers on the resilience hot path, where the caller's state
+// is discarded on failure anyway).
+//
 // The serializer core is stream-based (save_state/load_state) so the
 // resilience layer can snapshot rank states into in-memory buffers for
-// rollback-and-replay; save_checkpoint/load_checkpoint are thin file
-// wrappers over it.
+// rollback-and-replay; save_checkpoint/load_checkpoint are file wrappers
+// over it.
 #pragma once
 
 #include <cstdint>
@@ -55,10 +71,42 @@ struct SideState {
 namespace detail {
 
 inline constexpr std::uint64_t kMagic = 0x4153554341434b50ull;  // "ASUCACKP"
-inline constexpr std::uint32_t kVersion = 2;
+inline constexpr std::uint32_t kVersion = 3;
 
 inline constexpr std::uint8_t kTagScalar = 0;
 inline constexpr std::uint8_t kTagArray2 = 1;
+
+/// FNV-1a over a payload section — the per-section integrity checksum
+/// v3 appends after every payload (same hash family the halo-integrity
+/// and state-fingerprint layers use).
+inline std::uint64_t section_checksum(const void* data, std::size_t bytes) {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t n = 0; n < bytes; ++n) {
+        h ^= p[n];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+inline void write_checksum(std::ostream& out, const void* data,
+                           std::size_t bytes) {
+    const std::uint64_t sum = section_checksum(data, bytes);
+    out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+}
+
+/// Read the stored checksum and verify it against the just-read payload.
+inline void verify_checksum(std::istream& in, const void* data,
+                            std::size_t bytes, const char* what) {
+    std::uint64_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    ASUCA_REQUIRE(in.good(),
+                  "checkpoint truncated (" << what << " checksum)");
+    ASUCA_REQUIRE(stored == section_checksum(data, bytes),
+                  "checkpoint corrupted: " << what
+                                           << " checksum mismatch (payload "
+                                           << "bytes damaged on disk?)");
+}
 
 template <class T>
 void write_array(std::ostream& out, const Array3<T>& a) {
@@ -67,6 +115,7 @@ void write_array(std::ostream& out, const Array3<T>& a) {
     out.write(reinterpret_cast<const char*>(meta), sizeof(meta));
     out.write(reinterpret_cast<const char*>(a.data()),
               static_cast<std::streamsize>(a.size() * sizeof(T)));
+    write_checksum(out, a.data(), a.size() * sizeof(T));
 }
 
 template <class T>
@@ -84,6 +133,7 @@ void read_array(std::istream& in, Array3<T>& a) {
     in.read(reinterpret_cast<char*>(a.data()),
             static_cast<std::streamsize>(a.size() * sizeof(T)));
     ASUCA_REQUIRE(in.good(), "checkpoint truncated (array data)");
+    verify_checksum(in, a.data(), a.size() * sizeof(T), "field array");
 }
 
 inline void write_side(std::ostream& out, const SideState& side) {
@@ -98,6 +148,7 @@ inline void write_side(std::ostream& out, const SideState& side) {
     for (const auto& [name, value] : side.scalars) {
         write_name(name, kTagScalar);
         out.write(reinterpret_cast<const char*>(value), sizeof(double));
+        write_checksum(out, value, sizeof(double));
     }
     for (const auto& [name, array] : side.arrays) {
         write_name(name, kTagArray2);
@@ -107,9 +158,14 @@ inline void write_side(std::ostream& out, const SideState& side) {
         out.write(reinterpret_cast<const char*>(array->data()),
                   static_cast<std::streamsize>(array->size() *
                                                sizeof(double)));
+        write_checksum(out, array->data(), array->size() * sizeof(double));
     }
 }
 
+/// Read the side-state section. Staged-then-committed: every payload is
+/// read and checksum-verified into temporaries first, and the callers'
+/// destinations are only written once the WHOLE section parsed — a
+/// corrupt or truncated side section never part-restores accumulators.
 inline void read_side(std::istream& in, const SideState& side) {
     std::uint32_t n = 0;
     in.read(reinterpret_cast<char*>(&n), sizeof(n));
@@ -118,6 +174,8 @@ inline void read_side(std::istream& in, const SideState& side) {
                   "checkpoint carries " << n << " side-state entries, model "
                                         << "expects " << side.count());
     std::vector<char> seen(side.count(), 0);
+    std::vector<std::pair<double*, double>> staged_scalars;
+    std::vector<std::pair<Array2<double>*, std::vector<double>>> staged_arrays;
     for (std::uint32_t e = 0; e < n; ++e) {
         std::uint32_t len = 0;
         in.read(reinterpret_cast<char*>(&len), sizeof(len));
@@ -142,7 +200,12 @@ inline void read_side(std::istream& in, const SideState& side) {
             ASUCA_REQUIRE(dst != nullptr,
                           "checkpoint side-state scalar '"
                               << name << "' unknown to this configuration");
-            in.read(reinterpret_cast<char*>(dst), sizeof(double));
+            double value = 0.0;
+            in.read(reinterpret_cast<char*>(&value), sizeof(double));
+            ASUCA_REQUIRE(in.good(),
+                          "checkpoint truncated (side-state data)");
+            verify_checksum(in, &value, sizeof(double), "side-state scalar");
+            staged_scalars.emplace_back(dst, value);
         } else if (tag == kTagArray2) {
             Array2<double>* dst = nullptr;
             for (std::size_t s = 0; s < side.arrays.size(); ++s) {
@@ -164,15 +227,27 @@ inline void read_side(std::istream& in, const SideState& side) {
                               meta[1] == dst->ny() && meta[2] == dst->halo(),
                           "checkpoint side-state array '"
                               << name << "' shape does not match the model");
-            in.read(reinterpret_cast<char*>(dst->data()),
-                    static_cast<std::streamsize>(dst->size() *
+            std::vector<double> payload(dst->size());
+            in.read(reinterpret_cast<char*>(payload.data()),
+                    static_cast<std::streamsize>(payload.size() *
                                                  sizeof(double)));
+            ASUCA_REQUIRE(in.good(),
+                          "checkpoint truncated (side-state data)");
+            verify_checksum(in, payload.data(),
+                            payload.size() * sizeof(double),
+                            "side-state array");
+            staged_arrays.emplace_back(dst, std::move(payload));
         } else {
             ASUCA_REQUIRE(false, "checkpoint side-state entry '"
                                      << name << "' has unknown tag "
                                      << static_cast<int>(tag));
         }
-        ASUCA_REQUIRE(in.good(), "checkpoint truncated (side-state data)");
+    }
+    // Whole section verified — commit.
+    for (const auto& [dst, value] : staged_scalars) *dst = value;
+    for (auto& [dst, payload] : staged_arrays) {
+        std::memcpy(dst->data(), payload.data(),
+                    payload.size() * sizeof(double));
     }
 }
 
@@ -226,12 +301,13 @@ double load_state(std::istream& in, State<T>& state,
     in.read(reinterpret_cast<char*>(&elem_size), sizeof(elem_size));
     in.read(reinterpret_cast<char*>(&n_tracers), sizeof(n_tracers));
     in.read(reinterpret_cast<char*>(&time), sizeof(time));
+    ASUCA_REQUIRE(in.good(), "checkpoint truncated (file header)");
     ASUCA_REQUIRE(magic == detail::kMagic, "not an ASUCA checkpoint");
     ASUCA_REQUIRE(version == detail::kVersion,
                   "unsupported checkpoint version "
                       << version << " (expected " << detail::kVersion
-                      << "; v1 lacks microphysics side state and cannot "
-                      << "restart exactly)");
+                      << "; v1 lacks microphysics side state, v2 lacks "
+                      << "payload checksums — neither restarts safely)");
     ASUCA_REQUIRE(elem_size == sizeof(T),
                   "checkpoint precision (" << elem_size
                                            << " B) does not match model ("
@@ -271,13 +347,21 @@ void save_checkpoint(const std::string& path, const State<T>& state,
 }
 
 /// Load a checkpoint into `state` (shapes and species must match);
-/// returns the stored simulation time.
+/// returns the stored simulation time. TRANSACTIONAL: deserializes into
+/// a staged copy and commits only after the whole file (including every
+/// section checksum) verified — a truncated or corrupted file throws and
+/// leaves `state` and the side-state destinations bitwise untouched.
 template <class T>
 double load_checkpoint(const std::string& path, State<T>& state,
                        const SideState& side = {}) {
     std::ifstream in(path, std::ios::binary);
     ASUCA_REQUIRE(in.good(), "cannot open checkpoint " << path);
-    return load_state(in, state, side);
+    State<T> staged = state;
+    // read_side already stages its own commits, so a load that fails in
+    // any section only ever touched `staged`.
+    const double time = load_state(in, staged, side);
+    state = std::move(staged);
+    return time;
 }
 
 /// The complete side state of an AsucaModel-like object: the step counter

@@ -1,0 +1,380 @@
+// ForecastServer: a long-running in-process forecast service — the
+// "millions of users" direction of ROADMAP, exercising the observability
+// (PR 5), resilience (PR 4) and checkpoint (PR 4) layers together under
+// real concurrent load.
+//
+// Architecture (specified first by tests/test_server.cpp and
+// tests/test_server_stress.cpp — this implementation fills the spec in):
+//
+//   clients ──submit()──► admission ──► bounded RequestQueue ──► workers
+//                │                                                │
+//                ├─ canonicalize + degradation ladder             ├─ per-worker
+//                ├─ dedup/cache on canonical keys                 │  ThreadPool
+//                └─ ForecastHandle (waitable)                     │  (ScopedOverride)
+//                                                                 └─ run_forecast()
+//
+//   * Admission control reads the queue depth and picks a degradation
+//     level BEFORE enqueueing: a loaded server sheds RESOLUTION (shorter
+//     horizon, then coarser grid — scenario.hpp's ladder), never
+//     requests. Only the opt-in shed_when_full policy ever rejects.
+//   * Deduplication: submissions canonicalize to a key; a key already
+//     pending or completed attaches the caller to the existing entry —
+//     one execution serves every duplicate (and completed entries keep
+//     serving from cache).
+//   * Scheduling: n_workers threads pop jobs and execute them under
+//     their own ThreadPool installed via ThreadPool::ScopedOverride —
+//     the same mechanism MultiDomainRunner rank tasks use — so many
+//     concurrent model instances share the machine without colliding on
+//     the process-global pool. Decomposed requests additionally spin up
+//     TaskLayer per-rank workers inside the runner.
+//   * Ensembles: an EnsembleRequest forks one stored checkpoint into N
+//     perturbed member requests that schedule independently (concurrent
+//     across workers), each bitwise identical to running that member
+//     serially in isolation.
+//   * Observability: per-request TraceSpans ("server" category) and
+//     server.* metrics (requests, completed, deduped, degraded, shed,
+//     failed, queue_depth gauge, latency_us histogram) through the
+//     existing TraceRecorder / MetricsRegistry.
+//
+// Bitwise guarantee: a request's bits depend only on its canonical spec
+// (and the referenced checkpoint blob) — never on which worker ran it,
+// what else was in flight, or the pool width — because every model
+// instance owns its state, the dycore is bit-identical for any thread
+// count, and the only cross-request state (metrics/trace/cache) carries
+// no numerics.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/observability/metrics.hpp"
+#include "src/observability/trace.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/server/ensemble.hpp"
+#include "src/server/request_queue.hpp"
+#include "src/server/scenario.hpp"
+
+namespace asuca::server {
+
+struct ServerConfig {
+    std::size_t n_workers = 2;         ///< concurrent forecast executions
+    std::size_t threads_per_worker = 1;  ///< j-slab threads per execution
+    std::size_t queue_capacity = 8;    ///< admission bound (backpressure)
+    bool keep_state = false;  ///< attach full final states to results
+    /// Degradation ladder on admission (shed resolution under load).
+    bool degrade_under_load = true;
+    /// Reject when the queue is full instead of blocking the submitter.
+    /// OFF by default: the production policy is backpressure + degraded
+    /// resolution, never dropped requests.
+    bool shed_when_full = false;
+    /// Serve repeated canonical keys from the completed-request cache.
+    bool cache_results = true;
+};
+
+struct ServerStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;   ///< executions that produced a result
+    std::uint64_t failed = 0;      ///< executions that threw
+    std::uint64_t dedup_hits = 0;  ///< submissions served by another entry
+    std::uint64_t degraded = 0;    ///< admissions rewritten by the ladder
+    std::uint64_t shed = 0;        ///< rejected (shed_when_full only)
+};
+
+class ForecastServer;
+
+namespace detail {
+/// One admitted request: the canonical executed spec plus the waitable
+/// completion slot every attached submitter shares.
+struct Entry {
+    ScenarioSpec spec;  ///< canonical, post-degradation
+    std::string key;
+    int degrade_level = 0;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    ForecastResult result;
+
+    void complete(ForecastResult res) {
+        {
+            std::lock_guard lock(mutex);
+            result = std::move(res);
+            done = true;
+        }
+        cv.notify_all();
+    }
+};
+}  // namespace detail
+
+/// Waitable result of one submission. Copyable; every copy (and every
+/// deduplicated submission) shares the same underlying entry.
+class ForecastHandle {
+  public:
+    ForecastHandle() = default;
+
+    /// Block until the request completes; the result stays owned by the
+    /// server entry (valid while any handle to it lives).
+    const ForecastResult& wait() const {
+        ASUCA_REQUIRE(entry_ != nullptr, "empty forecast handle");
+        std::unique_lock lock(entry_->mutex);
+        entry_->cv.wait(lock, [&] { return entry_->done; });
+        return entry_->result;
+    }
+
+    bool valid() const { return entry_ != nullptr; }
+
+    bool ready() const {
+        ASUCA_REQUIRE(entry_ != nullptr, "empty forecast handle");
+        std::lock_guard lock(entry_->mutex);
+        return entry_->done;
+    }
+
+    /// True when this submission attached to an already-admitted entry
+    /// (dedup) instead of scheduling its own execution.
+    bool attached() const { return attached_; }
+
+    /// The spec that runs/ran — after canonicalization and degradation.
+    const ScenarioSpec& executed_spec() const {
+        ASUCA_REQUIRE(entry_ != nullptr, "empty forecast handle");
+        return entry_->spec;
+    }
+    int degrade_level() const {
+        ASUCA_REQUIRE(entry_ != nullptr, "empty forecast handle");
+        return entry_->degrade_level;
+    }
+
+  private:
+    friend class ForecastServer;
+    ForecastHandle(std::shared_ptr<detail::Entry> entry, bool attached)
+        : entry_(std::move(entry)), attached_(attached) {}
+
+    std::shared_ptr<detail::Entry> entry_;
+    bool attached_ = false;
+};
+
+class ForecastServer {
+  public:
+    explicit ForecastServer(const ServerConfig& config = {})
+        : cfg_(config), queue_(config.queue_capacity) {
+        ASUCA_REQUIRE(cfg_.n_workers >= 1, "server needs >= 1 worker");
+        pools_.reserve(cfg_.n_workers);
+        for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
+            pools_.push_back(std::make_unique<ThreadPool>(
+                std::max<std::size_t>(1, cfg_.threads_per_worker)));
+        }
+        workers_.reserve(cfg_.n_workers);
+        for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
+            workers_.emplace_back([this, w] { worker_loop(w); });
+        }
+    }
+
+    ~ForecastServer() { shutdown(); }
+
+    ForecastServer(const ForecastServer&) = delete;
+    ForecastServer& operator=(const ForecastServer&) = delete;
+
+    const ServerConfig& config() const { return cfg_; }
+    CheckpointStore& checkpoints() { return checkpoints_; }
+    std::size_t queue_depth() const { return queue_.size(); }
+
+    /// Submit one request. Never blocks on execution — returns a handle
+    /// immediately (after any backpressure wait for a queue slot).
+    ForecastHandle submit(const ScenarioSpec& spec) {
+        const ScenarioSpec canon = canonicalize(spec);
+        const int level = admission_level(canon);
+        const ScenarioSpec exec = apply_degradation(canon, level);
+        const std::string key = canonical_key(exec);
+
+        std::shared_ptr<detail::Entry> entry;
+        {
+            std::lock_guard lock(cache_mutex_);
+            if (cfg_.cache_results) {
+                const auto it = cache_.find(key);
+                if (it != cache_.end()) {
+                    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+                    count("server.deduped");
+                    return ForecastHandle(it->second, /*attached=*/true);
+                }
+            }
+            entry = std::make_shared<detail::Entry>();
+            entry->spec = exec;
+            entry->key = key;
+            entry->degrade_level = level;
+            if (cfg_.cache_results) cache_[key] = entry;
+        }
+
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        count("server.requests");
+        if (level > 0) {
+            degraded_.fetch_add(1, std::memory_order_relaxed);
+            count("server.degraded");
+        }
+        bool admitted;
+        if (cfg_.shed_when_full) {
+            admitted = queue_.try_push(entry);
+            if (!admitted) {
+                shed_.fetch_add(1, std::memory_order_relaxed);
+                count("server.shed");
+            }
+        } else {
+            admitted = queue_.push(entry);  // backpressure, never drops
+        }
+        if (!admitted) {
+            forget(key);
+            ForecastResult res;
+            res.executed = exec;
+            res.degrade_level = level;
+            res.error = cfg_.shed_when_full && !queue_.closed()
+                            ? "shed: request queue full"
+                            : "server is shut down";
+            entry->complete(std::move(res));
+        } else if (obs::metrics_enabled()) {
+            obs::MetricsRegistry::global()
+                .gauge("server.queue_depth")
+                .set(static_cast<double>(queue_.size()));
+        }
+        return ForecastHandle(std::move(entry), /*attached=*/false);
+    }
+
+    /// Fork a stored checkpoint into n_members perturbed member requests
+    /// (scheduled concurrently; one handle per member, in member order).
+    std::vector<ForecastHandle> submit_ensemble(const EnsembleRequest& req) {
+        ASUCA_REQUIRE(checkpoints_.contains(req.base.warm_start),
+                      "ensemble warm-start checkpoint '"
+                          << req.base.warm_start << "' not in the store");
+        std::vector<ForecastHandle> handles;
+        const auto members = expand_members(req);
+        handles.reserve(members.size());
+        for (const auto& m : members) {
+            if (obs::metrics_enabled()) {
+                obs::MetricsRegistry::global()
+                    .counter("server.ensemble_members")
+                    .add();
+            }
+            handles.push_back(submit(m));
+        }
+        return handles;
+    }
+
+    /// Stop admissions, finish the backlog, join the workers. Idempotent;
+    /// also runs from the destructor.
+    void shutdown() {
+        bool expected = false;
+        if (!stopped_.compare_exchange_strong(expected, true)) return;
+        queue_.close();
+        for (auto& th : workers_) th.join();
+    }
+
+    ServerStats stats() const {
+        ServerStats s;
+        s.submitted = submitted_.load(std::memory_order_relaxed);
+        s.completed = completed_.load(std::memory_order_relaxed);
+        s.failed = failed_.load(std::memory_order_relaxed);
+        s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+        s.degraded = degraded_.load(std::memory_order_relaxed);
+        s.shed = shed_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+  private:
+    /// The degradation ladder's admission rule: below half capacity run
+    /// full requests, between half and three-quarters shed the horizon,
+    /// above that shed resolution too (clamped to what the spec allows).
+    int admission_level(const ScenarioSpec& spec) const {
+        if (!cfg_.degrade_under_load) return 0;
+        const std::size_t depth = queue_.size();
+        const std::size_t cap = queue_.capacity();
+        int level = 0;
+        if (2 * depth >= cap) level = 1;
+        if (4 * depth >= 3 * cap) level = 2;
+        return std::min(level, max_degrade_level(spec));
+    }
+
+    static void count(const char* name) {
+        if (!obs::metrics_enabled()) return;
+        obs::MetricsRegistry::global().counter(name).add();
+    }
+
+    void forget(const std::string& key) {
+        if (!cfg_.cache_results) return;
+        std::lock_guard lock(cache_mutex_);
+        cache_.erase(key);  // a shed/failed key must stay retryable
+    }
+
+    void worker_loop(std::size_t w) {
+        obs::name_this_thread("forecast worker " + std::to_string(w));
+        std::shared_ptr<detail::Entry> job;
+        while (queue_.pop(job)) {
+            // Route this execution's j-slab loops to the worker's own
+            // pool (inline when single-threaded): concurrent requests
+            // share machine capacity without sharing a run_region.
+            ThreadPool::ScopedOverride pool_guard(*pools_[w]);
+            obs::TraceSpan span("forecast_request",
+                                static_cast<long long>(w), "server");
+            if (obs::metrics_enabled()) {
+                obs::MetricsRegistry::global()
+                    .gauge("server.queue_depth")
+                    .set(static_cast<double>(queue_.size()));
+            }
+            ForecastResult res;
+            try {
+                CheckpointStore::Blob blob;
+                if (!job->spec.warm_start.empty()) {
+                    blob = checkpoints_.get(job->spec.warm_start);
+                    ASUCA_REQUIRE(blob != nullptr,
+                                  "warm-start checkpoint '"
+                                      << job->spec.warm_start
+                                      << "' not in the store");
+                }
+                res = run_forecast(job->spec, blob, cfg_.keep_state);
+            } catch (const std::exception& e) {
+                res = ForecastResult{};
+                res.executed = job->spec;
+                res.error = e.what();
+            }
+            res.degrade_level = job->degrade_level;
+            if (res.ok()) {
+                completed_.fetch_add(1, std::memory_order_relaxed);
+                count("server.completed");
+                if (obs::metrics_enabled()) {
+                    obs::MetricsRegistry::global()
+                        .histogram("server.latency_us")
+                        .observe(res.latency_ms * 1.0e3);
+                }
+            } else {
+                failed_.fetch_add(1, std::memory_order_relaxed);
+                count("server.failed");
+                forget(job->key);  // do not cache failures
+            }
+            job->complete(std::move(res));
+            job.reset();
+        }
+    }
+
+    ServerConfig cfg_;
+    RequestQueue<std::shared_ptr<detail::Entry>> queue_;
+    CheckpointStore checkpoints_;
+    std::vector<std::unique_ptr<ThreadPool>> pools_;
+    std::vector<std::thread> workers_;
+
+    std::mutex cache_mutex_;
+    std::unordered_map<std::string, std::shared_ptr<detail::Entry>> cache_;
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> dedup_hits_{0};
+    std::atomic<std::uint64_t> degraded_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<bool> stopped_{false};
+};
+
+}  // namespace asuca::server

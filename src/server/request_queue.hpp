@@ -1,0 +1,117 @@
+// Bounded MPMC request queue: the admission boundary of the forecast
+// service.
+//
+// Producers are client threads calling ForecastServer::submit(); consumers
+// are the server's worker threads. The queue is deliberately BOUNDED —
+// capacity is the service's knob for turning overload into backpressure
+// (a blocking push) instead of unbounded memory growth, and the current
+// depth is what the admission controller reads to pick a degradation
+// level BEFORE a request ever blocks (shed resolution, not requests).
+//
+// Semantics (specified first in tests/test_server.cpp, suite ServerQueue):
+//   * FIFO per queue — pop order equals push order;
+//   * push() blocks while full, returns false only on a closed queue;
+//   * try_push() never blocks, returns false when full or closed;
+//   * pop() blocks while empty, returns false only when the queue is
+//     closed AND drained — close() lets consumers finish the backlog;
+//   * close() is idempotent and releases every blocked producer and
+//     consumer.
+//
+// Thread-safety: all operations take the one mutex; the queue holds jobs
+// (small structs / shared_ptrs), never does work under the lock, and the
+// condition variables are split (not_full / not_empty) so producers and
+// consumers do not thundering-herd each other.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace asuca::server {
+
+template <class T>
+class RequestQueue {
+  public:
+    explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {
+        ASUCA_REQUIRE(capacity >= 1, "queue capacity must be >= 1");
+    }
+
+    RequestQueue(const RequestQueue&) = delete;
+    RequestQueue& operator=(const RequestQueue&) = delete;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /// Current depth (racy snapshot — admission heuristics only).
+    std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    bool closed() const {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+    /// Blocking enqueue. Waits while the queue is full; returns false
+    /// only if the queue is (or becomes) closed.
+    bool push(T item) {
+        std::unique_lock lock(mutex_);
+        cv_not_full_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        cv_not_empty_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking enqueue: false when full or closed (the caller sheds).
+    bool try_push(T item) {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(item));
+        }
+        cv_not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocking dequeue into `out`. Waits while empty; returns false only
+    /// when the queue is closed and fully drained.
+    bool pop(T& out) {
+        std::unique_lock lock(mutex_);
+        cv_not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return false;  // closed and drained
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        cv_not_full_.notify_one();
+        return true;
+    }
+
+    /// Stop admissions and release every blocked producer/consumer.
+    /// Already-queued items remain poppable (drain-then-stop shutdown).
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        cv_not_empty_.notify_all();
+        cv_not_full_.notify_all();
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_not_empty_;
+    std::condition_variable cv_not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace asuca::server

@@ -1,0 +1,240 @@
+// Scenario requests of the forecast service: what a client asks for, in a
+// CANONICAL form the server can deduplicate, cache and degrade.
+//
+// A ScenarioSpec names one of the repo's scenarios (warm_bubble,
+// mountain_wave, real_case) plus mesh, horizon, optional px x py
+// decomposition, and optional checkpoint-backed warm start / ensemble
+// perturbation. Two specs that describe the same forecast product must
+// produce the same canonical key — canonicalize() normalizes every field
+// that cannot influence the result (a perturbation seed with zero
+// amplitude, an overlap mode on a 1x1 decomposition, a physics flag on a
+// scenario that fixes it) so the request cache keys on meaning, not on
+// how the client happened to fill the struct.
+//
+// Degradation ladder (admission control under load, coarse before gone):
+//   level 0 — as requested;
+//   level 1 — horizon halved (shorter forecast, same grid);
+//   level 2 — horizon halved AND grid coarsened 2x in the horizontal
+//             (dx/dy doubled, so the physical domain is preserved).
+// apply_degradation() rewrites a spec to a level; the rewritten spec is a
+// DIFFERENT product with its own cache key, which is exactly right — a
+// degraded answer must never be served from the full-resolution cache
+// slot or vice versa.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/core/model.hpp"
+#include "src/core/scenarios.hpp"
+#include "src/grid/terrain.hpp"
+
+namespace asuca::server {
+
+struct ScenarioSpec {
+    std::string scenario = "warm_bubble";  ///< warm_bubble|mountain_wave|real_case
+    Index nx = 16, ny = 16, nz = 12;
+    int steps = 2;          ///< forecast horizon in long steps
+    bool physics = false;   ///< warm-rain microphysics (mountain_wave only;
+                            ///< real_case forces on, warm_bubble forces off)
+    Index px = 1, py = 1;   ///< >1x1: decomposed dycore run (dry only)
+    std::string overlap = "none";  ///< none|split|pipeline (decomposed runs)
+    /// Warm start: key of a checkpoint blob in the server's store; empty
+    /// runs the scenario's cold initialization.
+    std::string warm_start;
+    /// Ensemble member perturbation of the warm-start state: theta noise
+    /// of the given amplitude [K] from the given seed. Amplitude 0 means
+    /// unperturbed (member/seed are then canonically irrelevant).
+    int member = 0;
+    std::uint64_t perturb_seed = 0;
+    double perturb_amplitude = 0.0;
+    /// Horizontal coarsening exponent (grid / 2^coarsen, dx * 2^coarsen);
+    /// written by the degradation ladder, 0 for full resolution.
+    int coarsen = 0;
+};
+
+inline constexpr int kMaxDegradeLevel = 2;
+
+inline bool known_scenario(const std::string& s) {
+    return s == "warm_bubble" || s == "mountain_wave" || s == "real_case";
+}
+
+/// Normalize every semantically-irrelevant field (see header comment).
+/// Validates the spec; throws Error on nonsense the server cannot run.
+inline ScenarioSpec canonicalize(ScenarioSpec s) {
+    ASUCA_REQUIRE(known_scenario(s.scenario),
+                  "unknown scenario '" << s.scenario << "'");
+    ASUCA_REQUIRE(s.nx >= 8 && s.ny >= 8 && s.nz >= 6,
+                  "scenario mesh too small: " << s.nx << "x" << s.ny << "x"
+                                              << s.nz);
+    ASUCA_REQUIRE(s.steps >= 1, "forecast horizon must be >= 1 step");
+    ASUCA_REQUIRE(s.px >= 1 && s.py >= 1, "bad decomposition");
+    ASUCA_REQUIRE(s.coarsen >= 0 && s.coarsen <= kMaxDegradeLevel,
+                  "bad coarsen level " << s.coarsen);
+    if (s.scenario == "warm_bubble") s.physics = false;
+    if (s.scenario == "real_case") s.physics = true;
+    if (s.px * s.py == 1) {
+        s.overlap = "none";
+    } else {
+        ASUCA_REQUIRE(s.overlap == "none" || s.overlap == "split" ||
+                          s.overlap == "pipeline",
+                      "unknown overlap mode '" << s.overlap << "'");
+        ASUCA_REQUIRE(!s.physics,
+                      "decomposed requests run the dry dycore only");
+        ASUCA_REQUIRE(s.warm_start.empty(),
+                      "decomposed requests do not support warm starts");
+    }
+    if (s.warm_start.empty() || s.perturb_amplitude == 0.0) {
+        // No fork: the perturbation fields cannot influence the result.
+        s.member = 0;
+        s.perturb_seed = 0;
+        s.perturb_amplitude = 0.0;
+    }
+    return s;
+}
+
+/// Canonical cache key. Callers pass a canonicalize()d spec; the key is
+/// a readable pipe-joined record (exact double round-trip via %.17g).
+inline std::string canonical_key(const ScenarioSpec& s) {
+    char amp[40];
+    std::snprintf(amp, sizeof(amp), "%.17g", s.perturb_amplitude);
+    std::string key = "fc1";
+    key += "|sc=" + s.scenario;
+    key += "|mesh=" + std::to_string(s.nx) + "x" + std::to_string(s.ny) +
+           "x" + std::to_string(s.nz);
+    key += "|steps=" + std::to_string(s.steps);
+    key += "|phys=" + std::to_string(s.physics ? 1 : 0);
+    key += "|decomp=" + std::to_string(s.px) + "x" + std::to_string(s.py) +
+           ":" + s.overlap;
+    key += "|warm=" + s.warm_start;
+    key += "|member=" + std::to_string(s.member);
+    key += "|seed=" + std::to_string(s.perturb_seed);
+    key += std::string("|amp=") + amp;
+    key += "|coarsen=" + std::to_string(s.coarsen);
+    return key;
+}
+
+/// Whether the grid of `s` can take one more 2x horizontal coarsening
+/// (stays even-divisible, above the minimum extent, and decomposable).
+inline bool can_coarsen(const ScenarioSpec& s) {
+    const Index f = Index(1) << (s.coarsen + 1);
+    const Index nx = s.nx / f, ny = s.ny / f;
+    return s.nx % f == 0 && s.ny % f == 0 && nx >= 8 && ny >= 8 &&
+           nx % s.px == 0 && ny % s.py == 0;
+}
+
+/// Highest level of the ladder this spec supports (grid too small or not
+/// evenly coarsenable stops at level 1 — horizon shedding always works).
+inline int max_degrade_level(const ScenarioSpec& s) {
+    return can_coarsen(s) ? 2 : 1;
+}
+
+/// Rewrite a canonical spec to degradation `level` (clamped to what the
+/// spec supports). Level 0 returns the spec unchanged.
+inline ScenarioSpec apply_degradation(ScenarioSpec s, int level) {
+    if (level <= 0) return s;
+    if (level > max_degrade_level(s)) level = max_degrade_level(s);
+    s.steps = std::max(1, s.steps / 2);
+    if (level >= 2) s.coarsen += 1;
+    return s;
+}
+
+/// Model configuration of a (canonical) spec. Coarsening halves nx/ny and
+/// doubles dx/dy per level, so the physical domain is unchanged; terrain
+/// features tied to the domain are rebuilt against the effective extent.
+inline ModelConfig<double> build_config(const ScenarioSpec& s) {
+    const Index f = Index(1) << s.coarsen;
+    ASUCA_REQUIRE(s.nx % f == 0 && s.ny % f == 0,
+                  "mesh " << s.nx << "x" << s.ny
+                          << " not divisible by coarsening " << f);
+    const Index nx = s.nx / f, ny = s.ny / f;
+    ModelConfig<double> cfg;
+    if (s.scenario == "mountain_wave") {
+        cfg = scenarios::mountain_wave_config<double>(nx, ny, s.nz,
+                                                      s.physics);
+        cfg.grid.dx *= static_cast<double>(f);
+        cfg.grid.dy *= static_cast<double>(f);
+        cfg.grid.terrain = bell_ridge(
+            400.0, 4000.0, 0.5 * static_cast<double>(nx) * cfg.grid.dx);
+    } else if (s.scenario == "real_case") {
+        cfg = scenarios::real_case_config<double>(
+            nx, ny, s.nz, 2000.0 * static_cast<double>(f));
+    } else {
+        cfg = scenarios::warm_bubble_config<double>(nx, ny, s.nz);
+        cfg.grid.dx *= static_cast<double>(f);
+        cfg.grid.dy *= static_cast<double>(f);
+    }
+    return cfg;
+}
+
+/// Cold initialization of a model built from build_config(s).
+inline void init_model(AsucaModel<double>& model, const ScenarioSpec& s) {
+    if (s.scenario == "mountain_wave") {
+        scenarios::init_mountain_wave(model);
+    } else if (s.scenario == "real_case") {
+        scenarios::init_real_case(model);
+    } else {
+        scenarios::init_warm_bubble(model);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results.
+// ---------------------------------------------------------------------
+
+namespace detail {
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                           std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t n = 0; n < bytes; ++n) {
+        h ^= p[n];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+}  // namespace detail
+
+/// FNV-1a over every prognostic field's full padded bytes, in canonical
+/// field order — the bitwise identity card of a forecast product. Two
+/// runs agree bitwise iff their fingerprints agree (up to hash collision;
+/// tests that must PROVE bitwise identity compare full states instead).
+template <class T>
+std::uint64_t state_fingerprint(const State<T>& s) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&](const Array3<T>& a) {
+        h = detail::fnv1a(h, a.data(), a.size() * sizeof(T));
+    };
+    mix(s.rho);
+    mix(s.rhou);
+    mix(s.rhov);
+    mix(s.rhow);
+    mix(s.rhotheta);
+    mix(s.p);
+    for (const auto& q : s.tracers) mix(q);
+    return h;
+}
+
+/// What a completed request returns. `executed` is the spec that actually
+/// ran (after any degradation), not the one submitted.
+struct ForecastResult {
+    ScenarioSpec executed;
+    int degrade_level = 0;
+    long long steps_run = 0;
+    std::uint64_t fingerprint = 0;
+    double max_w = 0.0;       ///< max |rho w| — a cheap product diagnostic
+    double total_mass = 0.0;
+    double latency_ms = 0.0;  ///< execution wall time (queueing excluded)
+    bool deduped = false;     ///< served by attaching to another request
+    std::string error;        ///< empty on success
+    /// Full final state, kept when the server's keep_state is on (tests
+    /// use it to prove bitwise identity; production serves fingerprints).
+    std::shared_ptr<const State<double>> state;
+
+    bool ok() const { return error.empty(); }
+};
+
+}  // namespace asuca::server

@@ -1,14 +1,22 @@
-// Exact-restart guarantees of the v2 checkpoint format: running N steps,
+// Exact-restart guarantees of the v3 checkpoint format: running N steps,
 // checkpointing, restarting and running M more steps must be bitwise
 // identical to running N+M steps straight through — for a single-domain
-// moist model (including the non-State side state v2 adds: accumulated
+// moist model (including the non-State side state v2 added: accumulated
 // surface precipitation and the step counter) and for a decomposed
 // MultiDomainRunner (per-rank padded sections, halos included).
+//
+// The CheckpointRestartNegative suite specifies the error paths: a
+// truncated file, a corrupted section header, a bit-flipped payload (v3
+// per-section checksums) and a wrong-version header must all be rejected
+// with a clean asuca::Error AND leave the destination state bitwise
+// untouched (load_checkpoint is transactional).
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <sstream>
 
 #include "src/cluster/multidomain.hpp"
 #include "src/core/diagnostics.hpp"
@@ -193,6 +201,212 @@ TEST(CheckpointRestart, Decomposed2x2RoundTripIsBitwise) {
     State<double> got(grid, species);
     b.gather(got);
 
+    expect_bitwise(ref, got);
+    fs::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Negative paths: corrupt checkpoints must fail cleanly and atomically.
+// ---------------------------------------------------------------------
+
+// Deterministic distinct fill so "untouched" is checkable bitwise.
+void fill_pattern(State<double>& s, double salt) {
+    auto fill = [&](Array3<double>& a, double base) {
+        double* p = a.data();
+        for (std::size_t n = 0; n < a.size(); ++n) {
+            p[n] = base + salt * 0.125 + static_cast<double>(n) * 1.0e-3;
+        }
+    };
+    fill(s.rho, 1.0);
+    fill(s.rhou, 2.0);
+    fill(s.rhov, 3.0);
+    fill(s.rhow, 4.0);
+    fill(s.rhotheta, 5.0);
+    fill(s.p, 6.0);
+    fill(s.rho_ref, 7.0);
+    fill(s.p_ref, 8.0);
+    fill(s.rhotheta_ref, 9.0);
+    fill(s.cs2, 10.0);
+    for (std::size_t n = 0; n < s.tracers.size(); ++n) {
+        fill(s.tracers[n], 11.0 + static_cast<double>(n));
+    }
+}
+
+std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return std::move(buf).str();
+}
+
+void spit(const fs::path& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class CheckpointRestartNegative : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        path_ = fs::temp_directory_path() / "asuca_ckpt_negative.bin";
+        GridSpec spec;
+        spec.nx = 8;
+        spec.ny = 8;
+        spec.nz = 6;
+        grid_ = std::make_unique<Grid<double>>(spec);
+        src_ = std::make_unique<State<double>>(*grid_, SpeciesSet::dry());
+        fill_pattern(*src_, 1.0);
+        double steps = 7.0;
+        io::SideState side;
+        side.add("model.steps", &steps);
+        io::save_checkpoint(path_.string(), *src_, 3.5, side);
+        bytes_ = slurp(path_);
+        // v3 stream layout: 28-byte file header (magic, version,
+        // elem_size, n_tracers, time; no species for dry), then per-array
+        // sections of 32-byte shape meta + payload + 8-byte checksum.
+        header_bytes_ = 28;
+        payload_bytes_ = src_->rho.size() * sizeof(double);
+        ASSERT_GT(bytes_.size(), header_bytes_ + 32 + payload_bytes_ + 8);
+    }
+
+    void TearDown() override { fs::remove(path_); }
+
+    /// Load `bytes` (written to the temp path) into a freshly patterned
+    /// destination; expect Error carrying `what`, and the destination
+    /// state and side scalar bitwise untouched.
+    void expect_rejected_without_mutation(const std::string& bytes,
+                                          const std::string& what) {
+        spit(path_, bytes);
+        State<double> dst(*grid_, SpeciesSet::dry());
+        fill_pattern(dst, 2.0);
+        const State<double> before = dst;
+        double steps = -1.0;
+        io::SideState side;
+        side.add("model.steps", &steps);
+        try {
+            io::load_checkpoint(path_.string(), dst, side);
+            FAIL() << "corrupt checkpoint accepted (" << what << ")";
+        } catch (const Error& e) {
+            EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+                << "got: " << e.what();
+        }
+        expect_bitwise(before, dst);
+        EXPECT_EQ(max_abs_diff(before.rho_ref, dst.rho_ref), 0.0);
+        EXPECT_EQ(max_abs_diff(before.cs2, dst.cs2), 0.0);
+        EXPECT_DOUBLE_EQ(steps, -1.0);  // side scalar not part-restored
+    }
+
+    fs::path path_;
+    std::unique_ptr<Grid<double>> grid_;
+    std::unique_ptr<State<double>> src_;
+    std::string bytes_;
+    std::size_t header_bytes_ = 0;
+    std::size_t payload_bytes_ = 0;
+};
+
+TEST_F(CheckpointRestartNegative, IntactFileRoundTrips) {
+    State<double> dst(*grid_, SpeciesSet::dry());
+    fill_pattern(dst, 2.0);
+    double steps = -1.0;
+    io::SideState side;
+    side.add("model.steps", &steps);
+    const double time = io::load_checkpoint(path_.string(), dst, side);
+    EXPECT_DOUBLE_EQ(time, 3.5);
+    EXPECT_DOUBLE_EQ(steps, 7.0);
+    expect_bitwise(*src_, dst);
+}
+
+TEST_F(CheckpointRestartNegative, TruncatedFileRejected) {
+    // Cut mid-way through the first field array's payload.
+    const std::string cut = bytes_.substr(
+        0, header_bytes_ + 32 + payload_bytes_ / 2);
+    expect_rejected_without_mutation(cut, "truncated");
+}
+
+TEST_F(CheckpointRestartNegative, TruncatedSideSectionRejected) {
+    // Keep every field array, drop the tail of the side-state section:
+    // the arrays parse, but nothing may be committed.
+    const std::string cut = bytes_.substr(0, bytes_.size() - 6);
+    expect_rejected_without_mutation(cut, "truncated");
+}
+
+TEST_F(CheckpointRestartNegative, CorruptedSectionLengthRejected) {
+    // Damage the first array's shape meta (its extent header).
+    std::string bad = bytes_;
+    bad[header_bytes_] = static_cast<char>(bad[header_bytes_] ^ 0x3f);
+    expect_rejected_without_mutation(bad, "does not match");
+}
+
+TEST_F(CheckpointRestartNegative, BitFlippedPayloadRejected) {
+    // Flip ONE bit in the middle of the first array's payload: shape and
+    // length still parse, only the v3 checksum can catch it.
+    std::string bad = bytes_;
+    const std::size_t at = header_bytes_ + 32 + payload_bytes_ / 2;
+    bad[at] = static_cast<char>(bad[at] ^ 0x01);
+    expect_rejected_without_mutation(bad, "checksum");
+}
+
+TEST_F(CheckpointRestartNegative, BitFlippedSidePayloadRejected) {
+    // The side-state scalar payload sits 9 bytes before the final
+    // checksum: [..., name, tag, value(8), checksum(8)] at file end.
+    std::string bad = bytes_;
+    const std::size_t at = bad.size() - 8 - 4;
+    bad[at] = static_cast<char>(bad[at] ^ 0x01);
+    expect_rejected_without_mutation(bad, "checksum");
+}
+
+TEST_F(CheckpointRestartNegative, WrongVersionHeaderRejected) {
+    // Patch the version field (offset 8) to the superseded v2.
+    std::string bad = bytes_;
+    bad[8] = 2;
+    expect_rejected_without_mutation(bad, "version");
+}
+
+TEST(CheckpointRestartNegativeMultiDomain, TruncatedFileLeavesRanksIntact) {
+    using cluster::MultiDomainRunner;
+    const auto path = fs::temp_directory_path() / "asuca_ckpt_neg_md.bin";
+
+    GridSpec spec;
+    spec.nx = 16;
+    spec.ny = 8;
+    spec.nz = 6;
+    TimeStepperConfig cfg;
+    cfg.dt = 4.0;
+    cfg.n_short_steps = 4;
+    const auto species = SpeciesSet::dry();
+    Grid<double> grid(spec);
+
+    State<double> initial(grid, species);
+    initialize_hydrostatic(grid, AtmosphereProfile::isothermal(280.0), 5.0,
+                           0.0, initial);
+
+    MultiDomainRunner<double> a(spec, 2, 1, species, cfg);
+    a.scatter(initial);
+    a.step();
+    a.save_checkpoint(path.string());
+
+    // Truncate inside the second rank's section: rank 0 parses fully, so
+    // only a transactional load can leave rank 0 untouched.
+    const std::string bytes = slurp(path);
+    spit(path, bytes.substr(0, bytes.size() * 3 / 4));
+
+    MultiDomainRunner<double> b(spec, 2, 1, species, cfg);
+    b.scatter(initial);  // different history: still at step 0
+    State<double> before(grid, species);
+    b.gather(before);
+    EXPECT_THROW(b.load_checkpoint(path.string()), Error);
+    EXPECT_EQ(b.step_index(), 0);
+    State<double> after(grid, species);
+    b.gather(after);
+    expect_bitwise(before, after);
+
+    // And b still works: the intact original restores and matches a.
+    spit(path, bytes);
+    b.load_checkpoint(path.string());
+    EXPECT_EQ(b.step_index(), 1);
+    State<double> got(grid, species);
+    b.gather(got);
+    State<double> ref(grid, species);
+    a.gather(ref);
     expect_bitwise(ref, got);
     fs::remove(path);
 }

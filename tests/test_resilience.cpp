@@ -99,6 +99,56 @@ TEST(FaultInjector, SeededPlanIsReproducible) {
     EXPECT_FALSE(same_as_other_seed);
 }
 
+// Property: the plan a seed derives is a pure function of its arguments —
+// identical across repeated calls, across the installed thread-pool
+// width, and across which thread generates it. The forecast server leans
+// on this: an injection schedule in a request spec must reproduce no
+// matter which worker (with which private pool) executes the request.
+TEST(FaultInjector, SeededPlanIsIdenticalAcrossThreadCounts) {
+    const auto plan_equal = [](const FaultPlan& a, const FaultPlan& b) {
+        if (a.size() != b.size()) return false;
+        for (std::size_t n = 0; n < a.size(); ++n) {
+            if (a[n].kind != b[n].kind || a[n].rank != b[n].rank ||
+                a[n].step != b[n].step || a[n].var != b[n].var ||
+                a[n].i != b[n].i || a[n].j != b[n].j || a[n].k != b[n].k ||
+                a[n].delay != b[n].delay) {
+                return false;
+            }
+        }
+        return true;
+    };
+    const auto make = [] {
+        return resilience::random_plan(1234, 16, FaultKind::HaloCorrupt, 6,
+                                       20, 24, 12, 10,
+                                       std::chrono::milliseconds(3));
+    };
+    const FaultPlan reference = make();
+    ASSERT_EQ(reference.size(), 16u);
+
+    // Same process, different installed pool widths.
+    for (std::size_t width : {1u, 2u, 5u}) {
+        ThreadPool pool(width);
+        ThreadPool::ScopedOverride guard(pool);
+        EXPECT_TRUE(plan_equal(reference, make()))
+            << "plan differs under a " << width << "-thread pool";
+    }
+
+    // Generated concurrently from many threads at once.
+    std::vector<FaultPlan> got(8);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(got.size());
+        for (std::size_t t = 0; t < got.size(); ++t) {
+            threads.emplace_back([&, t] { got[t] = make(); });
+        }
+        for (auto& th : threads) th.join();
+    }
+    for (std::size_t t = 0; t < got.size(); ++t) {
+        EXPECT_TRUE(plan_equal(reference, got[t]))
+            << "plan differs on generator thread " << t;
+    }
+}
+
 TEST(FaultInjector, EachFaultFiresExactlyOnce) {
     FaultPlan plan;
     plan.push_back({FaultKind::RankStall, 1, 3, VarId::RhoTheta, 0, 0, 0,

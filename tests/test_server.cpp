@@ -1,0 +1,403 @@
+// Forecast-service specification (test-first): queue semantics, scenario
+// canonicalization and cache keying, the degradation ladder, submission /
+// deduplication / error paths, checkpoint-backed warm starts, ensemble
+// fork determinism, and the bitwise server-vs-standalone guarantee.
+//
+// The concurrency stress/soak side lives in test_server_stress.cpp; this
+// file pins the FUNCTIONAL contract every stress run leans on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/diagnostics.hpp"
+#include "src/server/forecast_server.hpp"
+
+namespace asuca::server {
+namespace {
+
+void expect_bitwise(const State<double>& a, const State<double>& b) {
+    EXPECT_EQ(max_abs_diff(a.rho, b.rho), 0.0);
+    EXPECT_EQ(max_abs_diff(a.rhou, b.rhou), 0.0);
+    EXPECT_EQ(max_abs_diff(a.rhov, b.rhov), 0.0);
+    EXPECT_EQ(max_abs_diff(a.rhow, b.rhow), 0.0);
+    EXPECT_EQ(max_abs_diff(a.rhotheta, b.rhotheta), 0.0);
+    EXPECT_EQ(max_abs_diff(a.p, b.p), 0.0);
+    ASSERT_EQ(a.tracers.size(), b.tracers.size());
+    for (std::size_t n = 0; n < a.tracers.size(); ++n) {
+        EXPECT_EQ(max_abs_diff(a.tracers[n], b.tracers[n]), 0.0);
+    }
+}
+
+ScenarioSpec small_spec(int steps = 2) {
+    ScenarioSpec s;
+    s.scenario = "warm_bubble";
+    s.nx = 16;
+    s.ny = 16;
+    s.nz = 12;
+    s.steps = steps;
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Bounded request queue.
+// ---------------------------------------------------------------------
+
+TEST(ServerQueue, FifoOrderAndCapacity) {
+    RequestQueue<int> q(4);
+    EXPECT_EQ(q.capacity(), 4u);
+    EXPECT_EQ(q.size(), 0u);
+    for (int n = 0; n < 4; ++n) EXPECT_TRUE(q.try_push(n));
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_FALSE(q.try_push(99));  // full: non-blocking push sheds
+    for (int n = 0; n < 4; ++n) {
+        int got = -1;
+        EXPECT_TRUE(q.pop(got));
+        EXPECT_EQ(got, n);  // FIFO
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ServerQueue, PushBlocksWhileFullUntilPop) {
+    RequestQueue<int> q(1);
+    ASSERT_TRUE(q.push(0));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(1));  // blocks until the consumer pops
+        pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());  // still blocked on a full queue
+    int got = -1;
+    EXPECT_TRUE(q.pop(got));
+    EXPECT_EQ(got, 0);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_TRUE(q.pop(got));
+    EXPECT_EQ(got, 1);
+}
+
+TEST(ServerQueue, PopBlocksUntilPush) {
+    RequestQueue<int> q(2);
+    std::atomic<int> got{-1};
+    std::thread consumer([&] {
+        int v = -1;
+        EXPECT_TRUE(q.pop(v));
+        got.store(v);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(got.load(), -1);
+    EXPECT_TRUE(q.push(7));
+    consumer.join();
+    EXPECT_EQ(got.load(), 7);
+}
+
+TEST(ServerQueue, CloseReleasesWaitersAndDrainsBacklog) {
+    RequestQueue<int> q(1);
+    ASSERT_TRUE(q.push(5));
+    // A producer blocked on a full queue is released by close() -> false.
+    std::thread producer([&] { EXPECT_FALSE(q.push(6)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    producer.join();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(7));      // admissions stopped
+    EXPECT_FALSE(q.try_push(8));
+    int got = -1;
+    EXPECT_TRUE(q.pop(got));  // backlog survives close (drain-then-stop)
+    EXPECT_EQ(got, 5);
+    EXPECT_FALSE(q.pop(got));  // closed AND drained
+    q.close();                 // idempotent
+}
+
+// ---------------------------------------------------------------------
+// Scenario canonicalization and cache keying.
+// ---------------------------------------------------------------------
+
+TEST(ServerScenario, EquivalentSpecsShareOneCanonicalKey) {
+    // Irrelevant fields must not split the cache: a physics flag on
+    // warm_bubble, an overlap mode on 1x1, perturbation fields with zero
+    // amplitude.
+    ScenarioSpec a = small_spec();
+    ScenarioSpec b = small_spec();
+    b.physics = true;          // warm_bubble forces physics off
+    b.overlap = "pipeline";    // meaningless on a 1x1 decomposition
+    b.member = 3;              // meaningless without a warm-start fork
+    b.perturb_seed = 999;
+    EXPECT_EQ(canonical_key(canonicalize(a)), canonical_key(canonicalize(b)));
+
+    // Fields that DO change the product must split the key.
+    ScenarioSpec c = small_spec(3);
+    EXPECT_NE(canonical_key(canonicalize(a)), canonical_key(canonicalize(c)));
+    ScenarioSpec d = small_spec();
+    d.nx = 32;
+    EXPECT_NE(canonical_key(canonicalize(a)), canonical_key(canonicalize(d)));
+}
+
+TEST(ServerScenario, RejectsNonsense) {
+    ScenarioSpec s = small_spec();
+    s.scenario = "tornado";
+    EXPECT_THROW(canonicalize(s), Error);
+    s = small_spec();
+    s.nx = 4;  // below the minimum extent
+    EXPECT_THROW(canonicalize(s), Error);
+    s = small_spec();
+    s.steps = 0;
+    EXPECT_THROW(canonicalize(s), Error);
+    s = small_spec();
+    s.px = 2;  // decomposed runs are dry-dycore only
+    s.scenario = "real_case";
+    EXPECT_THROW(canonicalize(s), Error);
+    s = small_spec();
+    s.px = 2;
+    s.overlap = "sideways";
+    EXPECT_THROW(canonicalize(s), Error);
+}
+
+TEST(ServerScenario, DegradationLadderShedsHorizonThenResolution) {
+    ScenarioSpec s = canonicalize(small_spec(8));
+    EXPECT_EQ(max_degrade_level(s), 2);  // 16x16 coarsens to 8x8
+
+    const ScenarioSpec l1 = apply_degradation(s, 1);
+    EXPECT_EQ(l1.steps, 4);  // horizon halved
+    EXPECT_EQ(l1.coarsen, 0);
+    EXPECT_EQ(l1.nx, s.nx);
+
+    const ScenarioSpec l2 = apply_degradation(s, 2);
+    EXPECT_EQ(l2.steps, 4);
+    EXPECT_EQ(l2.coarsen, 1);  // grid coarsened 2x...
+    const auto cfg_full = build_config(s);
+    const auto cfg_l2 = build_config(l2);
+    EXPECT_EQ(cfg_l2.grid.nx, cfg_full.grid.nx / 2);
+    // ...with dx doubled, so the physical domain is preserved.
+    EXPECT_DOUBLE_EQ(cfg_l2.grid.dx, 2.0 * cfg_full.grid.dx);
+    EXPECT_DOUBLE_EQ(cfg_l2.grid.nx * cfg_l2.grid.dx,
+                     cfg_full.grid.nx * cfg_full.grid.dx);
+
+    // Every ladder level is a distinct cached product.
+    EXPECT_NE(canonical_key(s), canonical_key(l1));
+    EXPECT_NE(canonical_key(l1), canonical_key(l2));
+
+    // A grid that cannot coarsen stops at level 1 (horizon shedding
+    // always works).
+    ScenarioSpec tiny = small_spec(8);
+    tiny.nx = 8;
+    tiny.ny = 8;
+    const ScenarioSpec t = canonicalize(tiny);
+    EXPECT_EQ(max_degrade_level(t), 1);
+    EXPECT_EQ(apply_degradation(t, 2).coarsen, 0);
+    EXPECT_EQ(apply_degradation(t, 2).steps, 4);
+}
+
+// ---------------------------------------------------------------------
+// Submission, deduplication, error paths.
+// ---------------------------------------------------------------------
+
+TEST(ServerSubmit, RunsARequestAndReportsDiagnostics) {
+    ForecastServer server;
+    ForecastHandle h = server.submit(small_spec());
+    const ForecastResult& res = h.wait();
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.steps_run, 2);
+    EXPECT_NE(res.fingerprint, 0u);
+    EXPECT_GT(res.total_mass, 0.0);
+    EXPECT_GE(res.latency_ms, 0.0);
+    EXPECT_EQ(res.degrade_level, 0);
+    server.shutdown();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.submitted, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServerSubmit, DeduplicatesEquivalentRequests) {
+    ForecastServer server;
+    ForecastHandle a = server.submit(small_spec());
+    // Same product, differently-filled struct: must attach, not re-run.
+    ScenarioSpec same = small_spec();
+    same.physics = true;
+    same.perturb_seed = 77;
+    ForecastHandle b = server.submit(same);
+    EXPECT_FALSE(a.attached());
+    EXPECT_TRUE(b.attached());
+    EXPECT_EQ(a.wait().fingerprint, b.wait().fingerprint);
+    server.shutdown();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.submitted, 1u);   // one execution...
+    EXPECT_EQ(stats.dedup_hits, 1u);  // ...served both callers
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServerSubmit, UnknownWarmStartFailsCleanlyAndServerKeepsServing) {
+    ForecastServer server;
+    ScenarioSpec bad = small_spec();
+    bad.warm_start = "no-such-analysis";
+    const ForecastResult& res = server.submit(bad).wait();
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("no-such-analysis"), std::string::npos);
+    // The failure neither wedged a worker nor poisoned the cache.
+    const ForecastResult& good = server.submit(small_spec()).wait();
+    EXPECT_TRUE(good.ok()) << good.error;
+    server.shutdown();
+    EXPECT_EQ(server.stats().failed, 1u);
+    EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST(ServerSubmit, ShedPolicyRejectsOnlyWhenOptedIn) {
+    ServerConfig cfg;
+    cfg.n_workers = 1;
+    cfg.queue_capacity = 1;
+    cfg.shed_when_full = true;
+    cfg.degrade_under_load = false;
+    cfg.cache_results = false;
+    ForecastServer server(cfg);
+    // Flood faster than one worker drains: some submissions must shed,
+    // and every shed is reported as a clean per-request error.
+    std::vector<ForecastHandle> handles;
+    for (int n = 0; n < 12; ++n) handles.push_back(server.submit(small_spec()));
+    std::size_t ok = 0, shed = 0;
+    for (auto& h : handles) {
+        const ForecastResult& res = h.wait();
+        if (res.ok()) {
+            ++ok;
+        } else {
+            EXPECT_NE(res.error.find("shed"), std::string::npos);
+            ++shed;
+        }
+    }
+    server.shutdown();
+    EXPECT_GE(ok, 1u);  // the first admission always runs
+    EXPECT_EQ(shed, server.stats().shed);
+    EXPECT_EQ(ok + shed, 12u);
+}
+
+// ---------------------------------------------------------------------
+// Warm starts and ensemble forking.
+// ---------------------------------------------------------------------
+
+TEST(ServerWarmStart, ContinuesBitwiseFromACapturedCheckpoint) {
+    const ScenarioSpec spec = canonicalize(small_spec());
+
+    // Reference: one model integrated 3 + 2 steps straight through.
+    AsucaModel<double> reference(build_config(spec));
+    init_model(reference, spec);
+    reference.run(3);
+
+    ServerConfig cfg;
+    cfg.keep_state = true;
+    ForecastServer server(cfg);
+    server.checkpoints().capture("analysis", reference);
+    reference.run(2);
+
+    ScenarioSpec warm = spec;
+    warm.warm_start = "analysis";
+    warm.steps = 2;
+    const ForecastResult& res = server.submit(warm).wait();
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_NE(res.state, nullptr);
+    expect_bitwise(reference.state(), *res.state);
+    EXPECT_EQ(res.fingerprint, state_fingerprint(reference.state()));
+}
+
+TEST(EnsembleFork, MemberSeedsAreWellSeparated) {
+    EXPECT_NE(member_seed(1, 0), member_seed(1, 1));
+    EXPECT_NE(member_seed(1, 0), member_seed(2, 0));
+    EXPECT_EQ(member_seed(42, 7), member_seed(42, 7));
+}
+
+TEST(EnsembleFork, ExpansionIsDeterministicAndPerMember) {
+    EnsembleRequest req;
+    req.base = small_spec();
+    req.base.warm_start = "analysis";
+    req.n_members = 4;
+    req.seed = 9;
+    req.amplitude = 2.0e-3;
+    const auto members = expand_members(req);
+    const auto again = expand_members(req);
+    ASSERT_EQ(members.size(), 4u);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+        EXPECT_EQ(members[m].member, static_cast<int>(m));
+        EXPECT_EQ(members[m].perturb_seed, again[m].perturb_seed);
+        EXPECT_DOUBLE_EQ(members[m].perturb_amplitude, 2.0e-3);
+    }
+    // Distinct members are distinct cache products.
+    EXPECT_NE(canonical_key(canonicalize(members[0])),
+              canonical_key(canonicalize(members[1])));
+}
+
+TEST(EnsembleFork, PerturbationIsSeedDeterministic) {
+    const ScenarioSpec spec = canonicalize(small_spec());
+    AsucaModel<double> model(build_config(spec));
+    init_model(model, spec);
+
+    State<double> a = model.state();
+    State<double> b = model.state();
+    perturb_theta(a, 1234, 1.0e-3);
+    perturb_theta(b, 1234, 1.0e-3);
+    expect_bitwise(a, b);  // same seed, same bits
+
+    State<double> c = model.state();
+    perturb_theta(c, 1235, 1.0e-3);
+    EXPECT_GT(max_abs_diff(a.rhotheta, c.rhotheta), 0.0);  // seeds matter
+    EXPECT_EQ(max_abs_diff(a.rho, c.rho), 0.0);  // only theta is touched
+}
+
+// ---------------------------------------------------------------------
+// The bitwise server-vs-standalone guarantee (fault injection off — the
+// server path must add nothing to the numbers).
+// ---------------------------------------------------------------------
+
+TEST(ServerDeterminism, RequestMatchesStandaloneRunBitwise) {
+    const ScenarioSpec spec = canonicalize(small_spec(3));
+
+    // Standalone: a plain model run, no server machinery anywhere.
+    AsucaModel<double> standalone(build_config(spec));
+    init_model(standalone, spec);
+    standalone.run(3);
+
+    ServerConfig cfg;
+    cfg.n_workers = 2;
+    cfg.keep_state = true;
+    ForecastServer server(cfg);
+    const ForecastResult& res = server.submit(spec).wait();
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_NE(res.state, nullptr);
+    expect_bitwise(standalone.state(), *res.state);
+    EXPECT_EQ(res.fingerprint, state_fingerprint(standalone.state()));
+
+    // And the executor invoked directly (what the stress harness uses as
+    // its serial baseline) agrees too.
+    const ForecastResult direct = run_forecast(spec, nullptr, true);
+    EXPECT_EQ(direct.fingerprint, res.fingerprint);
+    expect_bitwise(*direct.state, *res.state);
+}
+
+TEST(ServerDeterminism, DecomposedRequestMatchesAllOverlapModes) {
+    // A 2x2 split-mode request (HaloChannel + TaskLayer under the
+    // server's ScopedOverride) must equal the lockstep answer bitwise.
+    ScenarioSpec spec = small_spec(2);
+    spec.px = 2;
+    spec.py = 2;
+    spec.overlap = "none";
+    const ForecastResult lockstep =
+        run_forecast(canonicalize(spec), nullptr, true);
+    ASSERT_TRUE(lockstep.ok()) << lockstep.error;
+
+    ServerConfig cfg;
+    cfg.keep_state = true;
+    ForecastServer server(cfg);
+    for (const char* overlap : {"split", "pipeline"}) {
+        ScenarioSpec s = spec;
+        s.overlap = overlap;
+        const ForecastResult& res = server.submit(s).wait();
+        ASSERT_TRUE(res.ok()) << overlap << ": " << res.error;
+        ASSERT_NE(res.state, nullptr);
+        expect_bitwise(*lockstep.state, *res.state);
+    }
+}
+
+}  // namespace
+}  // namespace asuca::server
