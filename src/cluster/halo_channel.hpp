@@ -25,26 +25,33 @@
 // the lockstep code, a channel-exchanged run is bitwise identical to a
 // lockstep run (validated in tests/test_multidomain_overlap.cpp).
 //
-// Failure detection (the resilience subsystem, PR 4): a channel can be
-// GUARDED, which changes the infinite futex waits into bounded polling
-// waits with a configurable deadline, attaches an integrity word
-// (sequence number + FNV-1a checksum over the pack buffer) to every
-// message, and supports POISONING — marking the channel dead so every
-// current and future wait fails immediately. A guarded wait that fails
-// throws HaloFaultError carrying the channel identity and a suspect
-// rank, so the runner can attribute the failure instead of hanging.
-// Unguarded channels keep the original futex path and zero extra cost.
+// Failure detection (the resilience subsystem): a channel can be
+// GUARDED, which changes the infinite futex waits into deadline-bounded
+// condition-variable waits (see the comment above guarded_wait),
+// attaches an integrity word to every message — sequence number plus
+// the 4-lane paired FNV checksum of hash::Fnv4/fnv1a_elems4,
+// accumulated inside the pack loop and verified inside the unpack loop
+// one cache-resident row slab at a time, so payload bytes are never
+// re-read cold for a separate checksum pass — and supports POISONING:
+// marking the channel dead so every current and future wait fails
+// immediately. A guarded wait that fails throws HaloFaultError carrying
+// the channel identity and a suspect rank, so the runner can attribute
+// the failure instead of hanging. Unguarded channels keep the original
+// futex path and zero extra cost.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/hash.hpp"
 #include "src/common/types.hpp"
 #include "src/field/array3.hpp"
 #include "src/observability/metrics.hpp"
@@ -71,26 +78,15 @@ inline void backoff_wait(const std::atomic<std::uint64_t>& counter,
     }
 }
 
-/// Deadline variant: yield-spin, then poll with short sleeps until
-/// `ready` or the deadline expires. Returns the final `ready()` verdict.
-/// Polling (instead of the futex) is deliberate: std::atomic::wait has no
-/// timed form, and a poisoned channel must be able to release a waiter
-/// without the producer ever touching the counters.
-template <class Pred>
-inline bool backoff_wait_for(Pred ready, std::chrono::nanoseconds deadline) {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int spin = 0; !ready(); ++spin) {
-        if (spin < 64) {
-            std::this_thread::yield();
-            continue;
-        }
-        if (std::chrono::steady_clock::now() - t0 >= deadline) {
-            return ready();
-        }
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-    return true;
-}
+// Guarded (deadline) waits use a condition variable instead of sleep
+// polling: std::atomic::wait has no timed form, and sleep_for() is
+// subject to the kernel's timer slack (~50us) — per-message oversleeps
+// that both tax and jitter every guarded exchange. The producer takes
+// the channel's wait mutex (empty critical section) and notifies after
+// each counter release, so a cv waiter wakes the moment the slot state
+// changes — same latency profile as the unguarded futex path — while
+// wait_until() enforces the deadline and poison() can release a waiter
+// without the producer ever touching the counters.
 
 /// What a guarded channel operation detected.
 enum class HaloFault {
@@ -177,10 +173,17 @@ class HaloChannel {
 
     bool guarded() const { return guarded_; }
 
+    /// True when messages carry (and receives verify) an integrity word.
+    /// Packers use this to pick the hash-fused copy loop.
+    bool integrity_on() const { return guarded_ && guard_.integrity; }
+
     /// Mark the channel dead: every guarded wait (current and future) on
     /// it fails with HaloFault::Poisoned. Only meaningful in guarded
     /// mode (unguarded waiters block on the futex and are not woken).
-    void poison() { poisoned_.store(true, std::memory_order_release); }
+    void poison() {
+        poisoned_.store(true, std::memory_order_release);
+        notify_waiters();
+    }
     bool poisoned() const {
         return poisoned_.load(std::memory_order_acquire);
     }
@@ -197,8 +200,7 @@ class HaloChannel {
                    kSlots;
         };
         if (guarded_) {
-            const bool ok = backoff_wait_for(
-                [&] { return poisoned() || have_slot(); }, guard_.deadline);
+            const bool ok = guarded_wait([&] { return poisoned() || have_slot(); });
             if (poisoned()) throw_fault(HaloFault::Poisoned, owner_rank_);
             if (!ok) {
                 // Backpressure timeout: the consumer (the owner of this
@@ -221,10 +223,125 @@ class HaloChannel {
     /// the fault injector's model of in-transit corruption, guaranteed
     /// to be detected by the consumer's verification.
     void finish_post(bool corrupt_in_flight = false) {
+        if (integrity_on()) {
+            const auto& slot = slots_[next_post_ % kSlots];
+            publish(hash::fnv1a_elems4(slot.data(), slot.size()),
+                    corrupt_in_flight);
+        } else {
+            publish(0, corrupt_in_flight);
+        }
+    }
+
+    /// Producer: publish with a checksum the packer accumulated while
+    /// filling the buffer (the fused-integrity fast path — payload bytes
+    /// are touched exactly once). `sum` must equal fnv1a_elems4 over the
+    /// final buffer contents; only meaningful when integrity_on().
+    void finish_post_hashed(std::uint64_t sum,
+                            bool corrupt_in_flight = false) {
+        publish(sum, corrupt_in_flight);
+    }
+
+    /// Consumer: wait (backoff) for the next message and return it. A
+    /// guarded channel verifies the integrity word and fails the wait at
+    /// the deadline instead of blocking forever. The wait is a trace
+    /// span attributed to the CONSUMING (owner) rank's thread — on a
+    /// timeline, halo_wait time is exactly the communication the
+    /// overlap modes are supposed to hide (paper Sec. V-A).
+    const std::vector<T>& begin_receive() {
+        const auto& slot = begin_receive_deferred();
+        if (integrity_on()) {
+            verify_receive(hash::fnv1a_elems4(slot.data(), slot.size()));
+        }
+        return slot;
+    }
+
+    /// Consumer: like begin_receive() but DEFERS the checksum check —
+    /// the unpacker accumulates the hash while copying the payload out
+    /// and then calls verify_receive(). The sequence number is still
+    /// verified here (it is metadata, not payload).
+    const std::vector<T>& begin_receive_deferred() {
+        obs::TraceSpan span("halo_wait", owner_rank_, "halo");
+        auto have_msg = [&] {
+            return posted_.load(std::memory_order_acquire) > next_receive_;
+        };
+        if (guarded_) {
+            const bool ok = guarded_wait([&] { return poisoned() || have_msg(); });
+            if (poisoned()) throw_fault(HaloFault::Poisoned, peer_rank_);
+            if (!ok) {
+                // The producer (peer) missed its deadline.
+                throw_fault(HaloFault::Timeout, peer_rank_);
+            }
+            const auto& slot = slots_[next_receive_ % kSlots];
+            if (guard_.integrity &&
+                meta_seq_[next_receive_ % kSlots] != next_receive_) {
+                throw_fault(HaloFault::Corrupt, peer_rank_);
+            }
+            return slot;
+        }
+        backoff_wait(posted_, posted_.load(std::memory_order_acquire),
+                     have_msg);
+        return slots_[next_receive_ % kSlots];
+    }
+
+    /// Consumer: compare the unpacker-accumulated checksum against the
+    /// message's integrity word. Must be called between
+    /// begin_receive_deferred() and finish_receive(). No-op when the
+    /// channel carries no integrity word.
+    void verify_receive(std::uint64_t sum) {
+        if (!integrity_on()) return;
+        if (obs::metrics_enabled()) {
+            static auto& words = obs::MetricsRegistry::global().counter(
+                "resilience.integrity_words");
+            words.add(slots_[next_receive_ % kSlots].size());
+        }
+        if (meta_sum_[next_receive_ % kSlots] != sum) {
+            throw_fault(HaloFault::Corrupt, peer_rank_);
+        }
+    }
+
+    /// Consumer: release the begin_receive() slot for producer reuse.
+    void finish_receive() {
+        ++next_receive_;
+        consumed_.store(next_receive_, std::memory_order_release);
+        consumed_.notify_one();
+        if (guarded_) notify_waiters();
+    }
+
+    /// Messages posted and not yet consumed (test/diagnostic use; exact
+    /// only when called from the producer or while both sides are idle).
+    std::uint64_t in_flight() const {
+        return posted_.load(std::memory_order_acquire) -
+               consumed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    /// Guarded-mode wait: brief yield-spin for the common already-posted
+    /// case, then a cv wait with the channel deadline. Counter updates
+    /// happen-before the producer's empty wait_mu_ critical section, so
+    /// a waiter that saw a stale predicate under the lock is guaranteed
+    /// a notify after it sleeps — no lost wakeups, no polling quantum.
+    template <class Pred>
+    bool guarded_wait(Pred ready) {
+        for (int spin = 0; spin < 64; ++spin) {
+            if (ready()) return true;
+            std::this_thread::yield();
+        }
+        std::unique_lock<std::mutex> lock(wait_mu_);
+        return wait_cv_.wait_for(lock, guard_.deadline, ready);
+    }
+
+    void notify_waiters() {
+        { std::lock_guard<std::mutex> lock(wait_mu_); }
+        wait_cv_.notify_all();
+    }
+
+    /// Shared tail of finish_post / finish_post_hashed: attach the
+    /// integrity word, apply armed corruption, bump metrics, release.
+    void publish(std::uint64_t sum, bool corrupt_in_flight) {
         auto& slot = slots_[next_post_ % kSlots];
-        if (guarded_ && guard_.integrity) {
+        if (integrity_on()) {
             meta_seq_[next_post_ % kSlots] = next_post_;
-            meta_sum_[next_post_ % kSlots] = checksum(slot);
+            meta_sum_[next_post_ % kSlots] = sum;
         }
         if (corrupt_in_flight && !slot.empty()) {
             flip_low_bit(slot[slot.size() / 2]);
@@ -240,64 +357,7 @@ class HaloChannel {
         ++next_post_;
         posted_.store(next_post_, std::memory_order_release);
         posted_.notify_one();
-    }
-
-    /// Consumer: wait (backoff) for the next message and return it. A
-    /// guarded channel verifies the integrity word and fails the wait at
-    /// the deadline instead of blocking forever. The wait is a trace
-    /// span attributed to the CONSUMING (owner) rank's thread — on a
-    /// timeline, halo_wait time is exactly the communication the
-    /// overlap modes are supposed to hide (paper Sec. V-A).
-    const std::vector<T>& begin_receive() {
-        obs::TraceSpan span("halo_wait", owner_rank_, "halo");
-        auto have_msg = [&] {
-            return posted_.load(std::memory_order_acquire) > next_receive_;
-        };
-        if (guarded_) {
-            const bool ok = backoff_wait_for(
-                [&] { return poisoned() || have_msg(); }, guard_.deadline);
-            if (poisoned()) throw_fault(HaloFault::Poisoned, peer_rank_);
-            if (!ok) {
-                // The producer (peer) missed its deadline.
-                throw_fault(HaloFault::Timeout, peer_rank_);
-            }
-            const auto& slot = slots_[next_receive_ % kSlots];
-            if (guard_.integrity &&
-                (meta_seq_[next_receive_ % kSlots] != next_receive_ ||
-                 meta_sum_[next_receive_ % kSlots] != checksum(slot))) {
-                throw_fault(HaloFault::Corrupt, peer_rank_);
-            }
-            return slot;
-        }
-        backoff_wait(posted_, posted_.load(std::memory_order_acquire),
-                     have_msg);
-        return slots_[next_receive_ % kSlots];
-    }
-
-    /// Consumer: release the begin_receive() slot for producer reuse.
-    void finish_receive() {
-        ++next_receive_;
-        consumed_.store(next_receive_, std::memory_order_release);
-        consumed_.notify_one();
-    }
-
-    /// Messages posted and not yet consumed (test/diagnostic use; exact
-    /// only when called from the producer or while both sides are idle).
-    std::uint64_t in_flight() const {
-        return posted_.load(std::memory_order_acquire) -
-               consumed_.load(std::memory_order_acquire);
-    }
-
-  private:
-    /// FNV-1a over the raw payload bytes — the "cheap integrity word".
-    static std::uint64_t checksum(const std::vector<T>& buf) {
-        std::uint64_t h = 1469598103934665603ull;
-        const auto* p = reinterpret_cast<const unsigned char*>(buf.data());
-        for (std::size_t n = buf.size() * sizeof(T); n > 0; --n, ++p) {
-            h ^= *p;
-            h *= 1099511628211ull;
-        }
-        return h;
+        if (guarded_) notify_waiters();
     }
 
     static void flip_low_bit(T& v) {
@@ -333,6 +393,8 @@ class HaloChannel {
     std::uint64_t next_receive_ = 0;  ///< consumer-local sequence
     bool guarded_ = false;
     ChannelGuard guard_;
+    std::mutex wait_mu_;               ///< guarded waits only
+    std::condition_variable wait_cv_;  ///< guarded waits only
     Index owner_rank_ = -1;
     Index peer_rank_ = -1;
     int side_ = -1;
@@ -503,6 +565,11 @@ class HaloExchanger {
     }
 
     /// Columns [i0, i1) of `a`, all interior rows, full padded k range.
+    /// With integrity on, the FNV word is accumulated IN the pack loop,
+    /// one row slab at a time: the slab is copied (vectorizable, no
+    /// hash chain in the loop) and then folded from the staging buffer
+    /// while it is still store-buffer/L1 resident, so the payload is
+    /// never re-read from cold memory for a separate checksum pass.
     void pack_cols(HaloChannel<T>& ch, const Array3<T>& a, Index i0,
                    Index i1, bool corrupt) {
         const Index h = a.halo();
@@ -510,24 +577,49 @@ class HaloExchanger {
         auto& buf = ch.begin_post(static_cast<std::size_t>(
             (i1 - i0) * ny * (nz + 2 * h)));
         std::size_t n = 0;
-        for (Index j = 0; j < ny; ++j)
-            for (Index k = -h; k < nz + h; ++k)
-                for (Index i = i0; i < i1; ++i) buf[n++] = a(i, j, k);
-        ch.finish_post(corrupt);
+        if (ch.integrity_on()) {
+            hash::Fnv4 hh;
+            for (Index j = 0; j < ny; ++j) {
+                const std::size_t n0 = n;
+                for (Index k = -h; k < nz + h; ++k)
+                    for (Index i = i0; i < i1; ++i) buf[n++] = a(i, j, k);
+                hh.add_run(buf.data() + n0, n - n0);
+            }
+            ch.finish_post_hashed(hh.digest(), corrupt);
+        } else {
+            for (Index j = 0; j < ny; ++j)
+                for (Index k = -h; k < nz + h; ++k)
+                    for (Index i = i0; i < i1; ++i) buf[n++] = a(i, j, k);
+            ch.finish_post(corrupt);
+        }
     }
 
     /// Unpack into columns [i0, i1) (halo side), same traversal order.
+    /// The verify side is fused the same way: each row slab is folded
+    /// from the (cache-resident) message buffer as it is copied out,
+    /// and the digest checked against the message's word.
     void unpack_cols(HaloChannel<T>& ch, Array3<T>& a, Index i0, Index i1) {
         const Index h = a.halo();
         const Index ny = a.ny(), nz = a.nz();
-        const auto& buf = ch.begin_receive();
+        const auto& buf = ch.begin_receive_deferred();
         ASUCA_ASSERT(buf.size() == static_cast<std::size_t>(
                                        (i1 - i0) * ny * (nz + 2 * h)),
                      "halo channel x-strip size mismatch");
         std::size_t n = 0;
-        for (Index j = 0; j < ny; ++j)
-            for (Index k = -h; k < nz + h; ++k)
-                for (Index i = i0; i < i1; ++i) a(i, j, k) = buf[n++];
+        if (ch.integrity_on()) {
+            hash::Fnv4 hh;
+            for (Index j = 0; j < ny; ++j) {
+                const std::size_t n0 = n;
+                for (Index k = -h; k < nz + h; ++k)
+                    for (Index i = i0; i < i1; ++i) a(i, j, k) = buf[n++];
+                hh.add_run(buf.data() + n0, n - n0);
+            }
+            ch.verify_receive(hh.digest());
+        } else {
+            for (Index j = 0; j < ny; ++j)
+                for (Index k = -h; k < nz + h; ++k)
+                    for (Index i = i0; i < i1; ++i) a(i, j, k) = buf[n++];
+        }
         ch.finish_receive();
     }
 
@@ -539,23 +631,49 @@ class HaloExchanger {
         auto& buf = ch.begin_post(static_cast<std::size_t>(
             (j1 - j0) * (nx + 2 * h) * (nz + 2 * h)));
         std::size_t n = 0;
-        for (Index j = j0; j < j1; ++j)
-            for (Index k = -h; k < nz + h; ++k)
-                for (Index i = -h; i < nx + h; ++i) buf[n++] = a(i, j, k);
-        ch.finish_post(corrupt);
+        if (ch.integrity_on()) {
+            hash::Fnv4 hh;
+            for (Index j = j0; j < j1; ++j) {
+                const std::size_t n0 = n;
+                for (Index k = -h; k < nz + h; ++k)
+                    for (Index i = -h; i < nx + h; ++i)
+                        buf[n++] = a(i, j, k);
+                hh.add_run(buf.data() + n0, n - n0);
+            }
+            ch.finish_post_hashed(hh.digest(), corrupt);
+        } else {
+            for (Index j = j0; j < j1; ++j)
+                for (Index k = -h; k < nz + h; ++k)
+                    for (Index i = -h; i < nx + h; ++i)
+                        buf[n++] = a(i, j, k);
+            ch.finish_post(corrupt);
+        }
     }
 
     void unpack_rows(HaloChannel<T>& ch, Array3<T>& a, Index j0, Index j1) {
         const Index h = a.halo();
         const Index nx = a.nx(), nz = a.nz();
-        const auto& buf = ch.begin_receive();
+        const auto& buf = ch.begin_receive_deferred();
         ASUCA_ASSERT(buf.size() == static_cast<std::size_t>(
                                        (j1 - j0) * (nx + 2 * h) * (nz + 2 * h)),
                      "halo channel y-strip size mismatch");
         std::size_t n = 0;
-        for (Index j = j0; j < j1; ++j)
-            for (Index k = -h; k < nz + h; ++k)
-                for (Index i = -h; i < nx + h; ++i) a(i, j, k) = buf[n++];
+        if (ch.integrity_on()) {
+            hash::Fnv4 hh;
+            for (Index j = j0; j < j1; ++j) {
+                const std::size_t n0 = n;
+                for (Index k = -h; k < nz + h; ++k)
+                    for (Index i = -h; i < nx + h; ++i)
+                        a(i, j, k) = buf[n++];
+                hh.add_run(buf.data() + n0, n - n0);
+            }
+            ch.verify_receive(hh.digest());
+        } else {
+            for (Index j = j0; j < j1; ++j)
+                for (Index k = -h; k < nz + h; ++k)
+                    for (Index i = -h; i < nx + h; ++i)
+                        a(i, j, k) = buf[n++];
+        }
         ch.finish_receive();
     }
 

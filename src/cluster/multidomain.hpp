@@ -34,7 +34,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -51,6 +54,7 @@
 #include "src/parallel/task_layer.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/resilience/fault_injector.hpp"
+#include "src/resilience/snapshot.hpp"
 #include "src/resilience/watchdog.hpp"
 
 namespace asuca::cluster {
@@ -141,6 +145,15 @@ class MultiDomainRunner {
                     std::max<std::size_t>(1, mdcfg_.threads_per_rank)));
             }
         }
+        // ASUCA_FORCE_GUARDED=1 flips guarding on for runners that did
+        // not opt in — the CI lever that runs the whole tier-1 matrix
+        // with the always-on protection path exercised. A runner that
+        // carries a fault plan while disabled still rejects it below
+        // (that combination is a caller bug, not a mode choice).
+        if (!mdcfg_.resilience.enabled && mdcfg_.resilience.faults.empty() &&
+            force_guarded_env()) {
+            mdcfg_.resilience.enabled = true;
+        }
         const ResilienceConfig& rc = mdcfg_.resilience;
         if (!rc.enabled) {
             ASUCA_REQUIRE(rc.faults.empty(),
@@ -165,6 +178,15 @@ class MultiDomainRunner {
                 exchanger_->enable_guard(
                     ChannelGuard{rc.halo_deadline, rc.halo_integrity});
             }
+            // Rollback snapshots copy from the stage workspaces: bitwise
+            // equal to the committed states at every commit point and
+            // not overwritten until deep into the next step (the async
+            // overlap window). See snapshot.hpp.
+            snap_.configure(rank_count(),
+                            [this](Index r) -> const State<T>& {
+                                return ranks_[size_t(r)]->stepper
+                                    .stage_workspace();
+                            });
         }
     }
 
@@ -177,6 +199,9 @@ class MultiDomainRunner {
         return ranks_[size_t(r)]->grid;
     }
     OverlapMode overlap_mode() const { return mdcfg_.overlap; }
+    /// Effective resilience state (after the ASUCA_FORCE_GUARDED env
+    /// override applied at construction).
+    bool resilience_enabled() const { return mdcfg_.resilience.enabled; }
     long long step_index() const { return step_index_; }
     /// Human-readable trace of injections, rollbacks and replays.
     const std::string& recovery_log() const { return recovery_log_; }
@@ -230,6 +255,9 @@ class MultiDomainRunner {
             }
         }
         exchange_states();
+        // The rank states were just replaced wholesale: any existing
+        // rollback point (and the once-copied reference fields) is stale.
+        if (snap_.configured()) snap_.invalidate();
     }
 
     /// Copy the rank interiors back into a global state (halos are left to
@@ -278,11 +306,21 @@ class MultiDomainRunner {
             mass_baseline_ = global_mass();
             mass_init_ = true;
         }
-        if (snapshot_.empty()) take_snapshot();
+        if (!snap_.valid()) {
+            // First rollback point: synchronous, from the rank states
+            // (the async copy source — the stage workspaces — is not
+            // initialized before the first step runs).
+            snap_.capture_sync(
+                [this](Index r) -> const State<T>& { return rank_state(r); },
+                step_index_, mass_baseline_);
+        }
         const long long target = step_index_ + n_steps;
         int retries = 0;
         while (step_index_ < target) {
             try {
+                // A snapshot round launched at the previous commit runs
+                // concurrently with this step's compute (completed by
+                // the rank-side barriers / the finish below).
                 step_impl();
             } catch (...) {
                 const FailureVerdict v = classify_failure();
@@ -296,20 +334,23 @@ class MultiDomainRunner {
                 rollback(v.what);
                 continue;
             }
+            snap_.finish();
             // Injected field corruption models a bad write DURING the
             // step: it lands before the health scan, so detection and
-            // recovery exercise exactly the real-fault path.
+            // recovery exercise exactly the real-fault path. (It lands
+            // in the rank STATES; the just-promoted snapshot copied the
+            // workspaces beforehand, so the rollback point stays clean
+            // even when a sampled watchdog detects the fault late.)
             injector_.apply_field_faults(
                 step_index_, rank_count(),
                 [&](Index r) -> State<T>& { return rank_state(r); },
                 &recovery_log_);
             resilience::HealthReport report;
-            for (Index r = 0; r < rank_count(); ++r) {
-                watchdog_.scan(rank_grid(r), rank_state(r), cfg_.dt, r,
-                               step_index_, report);
-            }
+            const bool scan_now = watchdog_.scan_due(step_index_);
+            if (scan_now) scan_all_ranks(report);
             double mass = 0.0;
-            if (track_mass) {
+            const bool mass_now = track_mass && scan_now;
+            if (mass_now) {
                 mass = global_mass();
                 watchdog_.check_mass(mass, mass_baseline_, 0, step_index_,
                                      report);
@@ -328,15 +369,28 @@ class MultiDomainRunner {
                 continue;
             }
             last_report_ = std::move(report);
-            if (track_mass) mass_baseline_ = mass;
+            if (mass_now) mass_baseline_ = mass;
             ++step_index_;
             retries = 0;
             record_step_metrics();
             step_hooks_.notify(*this);
-            if (step_index_ - snapshot_step_ >= rc.checkpoint_interval) {
-                take_snapshot();
+            if (step_index_ - snap_.step() >= rc.checkpoint_interval) {
+                snap_.launch(step_index_, mass_baseline_);
             }
         }
+        // Complete the round launched at the final commit so no copy is
+        // in flight across the advance() boundary.
+        snap_.finish();
+    }
+
+    /// Roll back to the most recent committed rollback snapshot —
+    /// operator-triggered recovery, and the test hook proving snapshot
+    /// fidelity (the restored state must be bitwise what was committed
+    /// at the snapshot step).
+    void restore_last_snapshot() {
+        ASUCA_REQUIRE(mdcfg_.resilience.enabled,
+                      "resilience disabled: no snapshots");
+        rollback("manual restore");
     }
 
     /// Checkpoint every rank's full padded state (v3 stream sections
@@ -375,8 +429,7 @@ class MultiDomainRunner {
             rank_state(r) = std::move(staged[static_cast<std::size_t>(r)]);
         }
         step_index_ = hdr[2];
-        snapshot_.clear();  // stale rollback points
-        snapshot_step_ = step_index_;
+        if (snap_.configured()) snap_.invalidate();  // stale rollback points
         mass_init_ = false;
     }
 
@@ -483,6 +536,9 @@ class MultiDomainRunner {
             }
             for (Index r = 0; r < rank_count(); ++r) {
                 auto& rk = *ranks_[size_t(r)];
+                // First workspace write of the step: an in-flight
+                // snapshot round must copy this rank first.
+                if (stage == 0) snap_.barrier(r);
                 rk.stepper.stage_workspace() = *bar[size_t(r)];
                 rk.stepper.acoustic().finalize(*bar[size_t(r)],
                                                rk.stepper.stage_workspace());
@@ -587,6 +643,11 @@ class MultiDomainRunner {
             for (int n = 0; n < ns; ++n) {
                 acoustic_substep_split(r, dtau);
             }
+            // First workspace write of the step (stage 0): an in-flight
+            // snapshot round must copy this rank's workspace first. By
+            // here the whole stage-0 acoustic ladder has overlapped the
+            // background copy.
+            if (stage == 0) snap_.barrier(r);
             st.stage_workspace() = *bar;
             ac.finalize(*bar, st.stage_workspace());
             st.update_stage_tracers(dt_s);
@@ -734,28 +795,38 @@ class MultiDomainRunner {
         return mass;
     }
 
-    /// Serialize every rank's state (full padded arrays, so halos revive
-    /// exactly) into in-memory blobs — the rollback point.
-    void take_snapshot() {
-        snapshot_.assign(static_cast<std::size_t>(rank_count()),
-                         std::string());
-        for (Index r = 0; r < rank_count(); ++r) {
-            std::ostringstream out(std::ios::binary);
-            io::save_state(out, rank_state(r), step_time());
-            snapshot_[size_t(r)] = std::move(out).str();
-        }
-        snapshot_step_ = step_index_;
-        snapshot_mass_ = mass_baseline_;
+    static bool force_guarded_env() {
+        const char* e = std::getenv("ASUCA_FORCE_GUARDED");
+        return e != nullptr && e[0] != '\0' && std::strcmp(e, "0") != 0;
     }
 
-    void restore_snapshot() {
-        ASUCA_REQUIRE(!snapshot_.empty(), "no snapshot to roll back to");
-        for (Index r = 0; r < rank_count(); ++r) {
-            std::istringstream in(snapshot_[size_t(r)], std::ios::binary);
-            io::load_state(in, rank_state(r));
+    /// Watchdog scan of every rank, sampled/parallel per watchdog.hpp.
+    /// In the concurrent modes each rank scans itself on its own task
+    /// worker (against its private pool); findings merge in rank order,
+    /// so the report is deterministic regardless of scheduling.
+    void scan_all_ranks(resilience::HealthReport& report) {
+        obs::TraceSpan span("watchdog_scan", "resilience");
+        if (tasks_ != nullptr) {
+            std::vector<resilience::HealthReport> reports(
+                static_cast<std::size_t>(rank_count()));
+            tasks_->run([&](std::size_t ri) {
+                ThreadPool::ScopedOverride pool_guard(*pools_[ri]);
+                const Index r = static_cast<Index>(ri);
+                watchdog_.scan(rank_grid(r), rank_state(r), cfg_.dt, r,
+                               step_index_, reports[ri]);
+            });
+            for (auto& rr : reports) {
+                report.findings.insert(
+                    report.findings.end(),
+                    std::make_move_iterator(rr.findings.begin()),
+                    std::make_move_iterator(rr.findings.end()));
+            }
+        } else {
+            for (Index r = 0; r < rank_count(); ++r) {
+                watchdog_.scan(rank_grid(r), rank_state(r), cfg_.dt, r,
+                               step_index_, report);
+            }
         }
-        step_index_ = snapshot_step_;
-        mass_baseline_ = snapshot_mass_;
     }
 
     /// Roll every rank back to the snapshot and reset the exchange
@@ -772,9 +843,17 @@ class MultiDomainRunner {
                 .counter("resilience.rollbacks")
                 .add();
         }
-        restore_snapshot();
+        // A round launched at the last commit may still be copying:
+        // complete and promote it first — its sources are intact (any
+        // rank that overwrote its workspace passed the barrier), and it
+        // is the newest clean rollback point.
+        snap_.finish();
+        snap_.restore(
+            [this](Index r) -> State<T>& { return rank_state(r); });
+        step_index_ = snap_.step();
+        mass_baseline_ = snap_.mass();
         if (exchanger_ != nullptr) rebuild_exchanger();
-        recovery_log_ += "rollback to step " + std::to_string(snapshot_step_) +
+        recovery_log_ += "rollback to step " + std::to_string(snap_.step()) +
                          " (" + why + "); ";
     }
 
@@ -1012,10 +1091,11 @@ class MultiDomainRunner {
     resilience::FaultInjector injector_;
     resilience::Watchdog<T> watchdog_;
     long long step_index_ = 0;
-    std::vector<std::string> snapshot_;  ///< per-rank serialized states
-    long long snapshot_step_ = 0;
+    /// Async double-buffered rollback snapshots. Declared after ranks_
+    /// so its destructor (which joins the snapshot thread) runs before
+    /// the rank states it copies from are destroyed.
+    resilience::AsyncSnapshotter<T> snap_;
     double mass_baseline_ = 0.0;
-    double snapshot_mass_ = 0.0;
     bool mass_init_ = false;
     resilience::HealthReport last_report_;
     std::string recovery_log_;

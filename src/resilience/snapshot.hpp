@@ -1,0 +1,391 @@
+// Asynchronous, incremental in-memory rollback snapshots.
+//
+// The PR 4 rollback point serialized every rank's full state through the
+// checkpoint iostream path ON the driver thread, between steps — ~100%
+// of a memcpy's cost in formatting overhead, paid synchronously every
+// checkpoint interval. This rework replaces it with raw double-buffered
+// field copies taken ASYNCHRONOUSLY, overlapped with the next step's
+// compute:
+//
+//   * The copy source is each rank's TimeStepper stage workspace. At
+//     commit time the workspace is bitwise identical to the committed
+//     rank state (the step's epilogue assigns one from the other), and
+//     the next step does not write the workspace until its stage-0
+//     "workspace = bar" assignment — after the slow tendencies and the
+//     whole stage-0 acoustic ladder. That window is where the copies
+//     run, on a dedicated snapshot thread.
+//   * Each rank's copy is guarded by a claim word. The snapshot thread
+//     claims ranks and copies them in the background; a rank worker
+//     that reaches its stage-0 workspace assignment first STEALS its
+//     own copy (claims and copies inline) or, if the snapshot thread is
+//     mid-copy, waits for that rank only. No rank ever waits on another
+//     rank's copy.
+//   * Copies are double-buffered: the staging buffers fill while the
+//     previously committed snapshot stays restorable, and the driver
+//     promotes staging -> committed once the round is complete. A
+//     rollback that arrives mid-round completes the round first (the
+//     sources are still intact — the failed step never reached its
+//     workspace assignment on the faulted ranks... and if it did, the
+//     copy already happened via the barrier).
+//   * Incremental: the time-invariant reference fields (rho_ref, p_ref,
+//     rhotheta_ref, cs2) are copied ONCE per configuration and only
+//     restored thereafter — per-field dirty tracking degenerates to
+//     "dynamic fields every round, static fields never again".
+//
+// The restored bytes are identical to what the old synchronous
+// serialization restored: the same full padded arrays, minus the stream
+// framing. Validated against gather()-visible state and replay bitwise
+// equality in tests/test_resilience.cpp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+#include "src/core/state.hpp"
+#include "src/observability/metrics.hpp"
+#include "src/observability/trace.hpp"
+
+namespace asuca::resilience {
+
+namespace detail {
+
+/// The fields a snapshot must copy every round (everything a step
+/// mutates, full padded windows so halos revive exactly).
+template <class T, class StateT, class F>
+void for_each_dynamic_field(StateT& s, F&& f) {
+    f(s.rho);
+    f(s.rhou);
+    f(s.rhov);
+    f(s.rhow);
+    f(s.rhotheta);
+    f(s.p);
+    for (auto& q : s.tracers) f(q);
+}
+
+/// The time-invariant reference fields: copied once, restored on demand.
+template <class T, class StateT, class F>
+void for_each_static_field(StateT& s, F&& f) {
+    f(s.rho_ref);
+    f(s.p_ref);
+    f(s.rhotheta_ref);
+    f(s.cs2);
+}
+
+}  // namespace detail
+
+/// Raw copies of one rank's dynamic fields. Buffers are sized on first
+/// capture and reused; the steady state allocates nothing.
+template <class T>
+class RankFieldCopy {
+  public:
+    /// Returns the number of bytes copied.
+    std::size_t capture_dynamic(const State<T>& s) {
+        std::size_t idx = 0, bytes = 0;
+        detail::for_each_dynamic_field<T>(s, [&](const Array3<T>& a) {
+            bytes += copy_in(idx++, a);
+        });
+        return bytes;
+    }
+
+    std::size_t capture_static(const State<T>& s) {
+        std::size_t idx = 0, bytes = 0;
+        detail::for_each_static_field<T>(s, [&](const Array3<T>& a) {
+            bytes += copy_in(idx++, a);
+        });
+        return bytes;
+    }
+
+    void restore_dynamic(State<T>& s) const {
+        std::size_t idx = 0;
+        detail::for_each_dynamic_field<T>(s, [&](Array3<T>& a) {
+            copy_out(idx++, a);
+        });
+    }
+
+    void restore_static(State<T>& s) const {
+        std::size_t idx = 0;
+        detail::for_each_static_field<T>(s, [&](Array3<T>& a) {
+            copy_out(idx++, a);
+        });
+    }
+
+  private:
+    std::size_t copy_in(std::size_t idx, const Array3<T>& a) {
+        if (idx >= bufs_.size()) bufs_.resize(idx + 1);
+        auto& buf = bufs_[idx];
+        buf.resize(a.size());
+        std::memcpy(buf.data(), a.data(), a.size() * sizeof(T));
+        return a.size() * sizeof(T);
+    }
+
+    void copy_out(std::size_t idx, Array3<T>& a) const {
+        ASUCA_ASSERT(idx < bufs_.size() && bufs_[idx].size() == a.size(),
+                     "snapshot buffer/field shape mismatch");
+        std::memcpy(a.data(), bufs_[idx].data(), a.size() * sizeof(T));
+    }
+
+    std::vector<std::vector<T>> bufs_;
+};
+
+/// Double-buffered, claim-coordinated asynchronous snapshot store for a
+/// set of ranks. Thread roles:
+///   driver  — capture_sync / launch / finish / restore / invalidate
+///   worker  — the internal snapshot thread (spawned on first launch)
+///   ranks   — barrier(r), called by rank r's step program just before
+///             it overwrites the copy source for rank r
+/// The driver calls are only legal while no rank program is running
+/// (between steps); barrier(r) is only legal between launch and the
+/// driver's next finish().
+template <class T>
+class AsyncSnapshotter {
+  public:
+    using Source = std::function<const State<T>&(Index)>;
+
+    ~AsyncSnapshotter() { stop_worker(); }
+
+    /// `async_source(r)` must yield rank r's copy source for background
+    /// rounds (the stage workspace); it is read from the snapshot thread
+    /// and from rank threads.
+    void configure(Index ranks, Source async_source) {
+        ASUCA_REQUIRE(ranks >= 1, "snapshotter needs at least one rank");
+        stop_worker();
+        nranks_ = ranks;
+        async_source_ = std::move(async_source);
+        claims_ = std::make_unique<std::atomic<int>[]>(
+            static_cast<std::size_t>(ranks));
+        for (Index r = 0; r < ranks; ++r) claims_[r] = kIdle;
+        for (auto& side : bufs_) {
+            side.assign(static_cast<std::size_t>(ranks), RankFieldCopy<T>{});
+        }
+        statics_.assign(static_cast<std::size_t>(ranks), RankFieldCopy<T>{});
+        statics_valid_ = false;
+        valid_ = false;
+        round_active_ = false;
+    }
+
+    bool configured() const { return nranks_ > 0; }
+    bool valid() const { return valid_; }
+    bool in_flight() const { return round_active_; }
+    long long step() const { return committed_step_; }
+    double mass() const { return committed_mass_; }
+
+    /// Drop every snapshot (and the statics) — the rank states are about
+    /// to be replaced wholesale (scatter, checkpoint load).
+    void invalidate() {
+        ASUCA_REQUIRE(!round_active_, "invalidate during a snapshot round");
+        valid_ = false;
+        statics_valid_ = false;
+    }
+
+    /// Synchronous capture from `src` on the calling thread, directly
+    /// into the COMMITTED side. Used for the initial rollback point
+    /// (the async source is not initialized before the first step).
+    void capture_sync(const Source& src, long long step, double mass) {
+        ASUCA_REQUIRE(!round_active_, "capture_sync during a round");
+        obs::TraceSpan span("snapshot_sync", "resilience");
+        std::size_t bytes = 0;
+        for (Index r = 0; r < nranks_; ++r) {
+            const State<T>& s = src(r);
+            bytes += bufs_[committed_][static_cast<std::size_t>(r)]
+                         .capture_dynamic(s);
+            if (!statics_valid_) {
+                bytes += statics_[static_cast<std::size_t>(r)]
+                             .capture_static(s);
+            }
+        }
+        statics_valid_ = true;
+        committed_step_ = step;
+        committed_mass_ = mass;
+        valid_ = true;
+        count_bytes(bytes);
+    }
+
+    /// Arm a background round: every rank becomes claimable, the
+    /// snapshot thread starts copying from `async_source`. Call only
+    /// between steps, with no previous round active.
+    void launch(long long step, double mass) {
+        ASUCA_REQUIRE(configured(), "snapshotter not configured");
+        ASUCA_REQUIRE(!round_active_, "snapshot round already active");
+        staging_step_ = step;
+        staging_mass_ = mass;
+        round_bytes_.store(0, std::memory_order_relaxed);
+        for (Index r = 0; r < nranks_; ++r) {
+            claims_[r].store(kPending, std::memory_order_release);
+        }
+        round_active_ = true;
+        round_start_ = std::chrono::steady_clock::now();
+        // On a single-hardware-thread host a background copier cannot
+        // overlap with anything — it only adds preemption (a rank
+        // spinning in barrier() on a descheduled mid-copy worker).
+        // Leave every claim pending: ranks steal their own copy at the
+        // stage-0 barrier and finish() sweeps the rest.
+        if (std::thread::hardware_concurrency() <= 1) return;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!worker_.joinable()) {
+                worker_ = std::thread([this] { worker_loop(); });
+            }
+            ++work_epoch_;
+        }
+        cv_.notify_one();
+    }
+
+    /// Rank r's step program is about to overwrite rank r's copy source:
+    /// make sure rank r is copied first. Steals the copy inline when the
+    /// snapshot thread has not reached this rank yet; otherwise waits
+    /// for that one rank's in-progress copy.
+    void barrier(Index r) {
+        if (!round_active_) return;
+        if (try_copy(r)) return;
+        // The snapshot thread owns this rank's copy: wait for it. This
+        // is the only place a rank can block on the snapshotter, and
+        // only for its own rank's in-flight memcpy.
+        obs::TraceSpan span("snapshot_wait", r, "resilience");
+        auto& c = claims_[r];
+        for (int spin = 0; c.load(std::memory_order_acquire) != kDone;
+             ++spin) {
+            if (spin > 64) std::this_thread::yield();
+        }
+    }
+
+    /// Driver: complete any outstanding copies of the active round on
+    /// the calling thread and promote staging -> committed. Idempotent;
+    /// no-op when no round is active.
+    void finish() {
+        if (!round_active_) return;
+        obs::TraceSpan span("snapshot_finish", "resilience");
+        for (Index r = 0; r < nranks_; ++r) try_copy(r);
+        for (Index r = 0; r < nranks_; ++r) {
+            auto& c = claims_[r];
+            while (c.load(std::memory_order_acquire) != kDone) {
+                std::this_thread::yield();
+            }
+            c.store(kIdle, std::memory_order_relaxed);
+        }
+        round_active_ = false;
+        committed_ ^= 1;
+        committed_step_ = staging_step_;
+        committed_mass_ = staging_mass_;
+        valid_ = true;
+        count_bytes(round_bytes_.load(std::memory_order_relaxed));
+        if (obs::metrics_enabled()) {
+            static auto& overlap = obs::MetricsRegistry::global().histogram(
+                "resilience.snapshot_overlap_us");
+            overlap.observe(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - round_start_)
+                    .count());
+        }
+    }
+
+    /// Restore the committed snapshot: dynamic fields from the committed
+    /// buffers, static fields from the once-captured copies.
+    void restore(const std::function<State<T>&(Index)>& dst) const {
+        ASUCA_REQUIRE(valid_ && !round_active_,
+                      "no committed snapshot to restore");
+        obs::TraceSpan span("snapshot_restore", "resilience");
+        for (Index r = 0; r < nranks_; ++r) {
+            State<T>& s = dst(r);
+            bufs_[committed_][static_cast<std::size_t>(r)]
+                .restore_dynamic(s);
+            statics_[static_cast<std::size_t>(r)].restore_static(s);
+        }
+    }
+
+  private:
+    // Claim states of one rank's copy within the active round.
+    static constexpr int kIdle = 0;     ///< no round / already promoted
+    static constexpr int kPending = 1;  ///< copy not started
+    static constexpr int kClaimed = 2;  ///< someone is copying
+    static constexpr int kDone = 3;     ///< staging buffer holds the copy
+
+    /// Claim and copy rank r if still pending. Returns true when rank r
+    /// is NOT owned by another thread afterwards (copied here or
+    /// already done); false when another thread holds the claim.
+    bool try_copy(Index r) {
+        auto& c = claims_[r];
+        int expected = kPending;
+        if (!c.compare_exchange_strong(expected, kClaimed,
+                                       std::memory_order_acq_rel)) {
+            return expected == kDone;
+        }
+        const int staging = committed_ ^ 1;
+        std::size_t bytes = 0;
+        {
+            obs::TraceSpan span("snapshot_copy", r, "resilience");
+            const State<T>& s = async_source_(r);
+            bytes = bufs_[staging][static_cast<std::size_t>(r)]
+                        .capture_dynamic(s);
+        }
+        round_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        c.store(kDone, std::memory_order_release);
+        return true;
+    }
+
+    void worker_loop() {
+        obs::name_this_thread("snapshot worker");
+        std::uint64_t seen = 0;
+        while (true) {
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock, [&] {
+                    return stop_ || work_epoch_ != seen;
+                });
+                if (stop_) return;
+                seen = work_epoch_;
+            }
+            for (Index r = 0; r < nranks_; ++r) try_copy(r);
+        }
+    }
+
+    void stop_worker() {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_one();
+        if (worker_.joinable()) worker_.join();
+        stop_ = false;
+    }
+
+    static void count_bytes(std::size_t bytes) {
+        if (bytes == 0 || !obs::metrics_enabled()) return;
+        static auto& counter = obs::MetricsRegistry::global().counter(
+            "resilience.snapshot_bytes");
+        counter.add(bytes);
+    }
+
+    Index nranks_ = 0;
+    Source async_source_;
+    std::vector<RankFieldCopy<T>> bufs_[2];  ///< double buffer
+    std::vector<RankFieldCopy<T>> statics_;  ///< copied once
+    bool statics_valid_ = false;
+    int committed_ = 0;  ///< which side of bufs_ is restorable
+    bool valid_ = false;
+    long long committed_step_ = 0;
+    double committed_mass_ = 0.0;
+    // Active round (staging side = committed_ ^ 1).
+    bool round_active_ = false;
+    long long staging_step_ = 0;
+    double staging_mass_ = 0.0;
+    std::unique_ptr<std::atomic<int>[]> claims_;
+    std::atomic<std::size_t> round_bytes_{0};
+    std::chrono::steady_clock::time_point round_start_{};
+    // Snapshot thread.
+    std::thread worker_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::uint64_t work_epoch_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace asuca::resilience

@@ -17,8 +17,16 @@
 //     decomposition (fluxes cross subdomain boundaries), so the runner
 //     applies this check to the rank-sum only.
 //
-// The scans run on the driver thread between steps and read only
-// interior cells, so they need no synchronization with the rank workers.
+// The scans read only interior cells between steps, so they need no
+// synchronization with the rank workers. Cell loops are slab-parallel on
+// the calling thread's ThreadPool (row-partitioned; the reported cell is
+// the traversal-minimum over all rows, so the result is independent of
+// pool width) and can be SAMPLED: scan every `sample_stride`-th cell of
+// each row with a per-row rotating offset, every `sample_period`-th
+// step, with a periodic exhaustive sweep every `full_sweep_period` steps
+// bounding the detection latency. Defaults are exhaustive (stride 1,
+// every step) — identical behavior and findings to the unsampled
+// watchdog.
 #pragma once
 
 #include <cmath>
@@ -28,6 +36,8 @@
 
 #include "src/core/state.hpp"
 #include "src/grid/grid.hpp"
+#include "src/observability/metrics.hpp"
+#include "src/parallel/thread_pool.hpp"
 #include "src/verify/invariants.hpp"
 
 namespace asuca::resilience {
@@ -40,6 +50,29 @@ struct WatchdogConfig {
     /// Relative total-mass drift threshold; <= 0 disables. Applied by
     /// the driver to the global (rank-summed) mass only.
     double mass_drift_tol = 0.0;
+
+    // --- sampling (all defaults exhaustive = PR 4 behavior) -----------
+    /// Scan every Nth cell of each (j,k) row, with a rotating offset
+    /// `(step + j + k) % stride` so consecutive scans cover different
+    /// cells. 1 = every cell.
+    Index sample_stride = 1;
+    /// Run the cell scans every Nth step only. 1 = every step. The
+    /// mass-drift check follows the same cadence.
+    long long sample_period = 1;
+    /// Every Nth step, scan exhaustively regardless of the stride —
+    /// this bounds the detection latency of a corruption the strided
+    /// scans keep missing. 0 = never force a full sweep.
+    long long full_sweep_period = 0;
+
+    /// Worst-case steps between a cell corruption and its detection
+    /// (assuming the corruption persists in the state). -1 = unbounded
+    /// (strided sampling with no periodic full sweep).
+    long long detection_bound() const {
+        if (sample_stride <= 1) {
+            return sample_period <= 1 ? 1 : sample_period;
+        }
+        return full_sweep_period > 0 ? full_sweep_period : -1;
+    }
 };
 
 /// One tripped check. `check` is a stable machine-readable tag:
@@ -101,16 +134,48 @@ class Watchdog {
 
     const WatchdogConfig& config() const { return cfg_; }
 
+    /// True when the cell scans (and the mass check) run at `step`.
+    bool scan_due(long long step) const {
+        return cfg_.sample_period <= 1 ||
+               step % cfg_.sample_period == 0 || full_sweep_due(step);
+    }
+
+    /// True when `step` is a periodic exhaustive sweep.
+    bool full_sweep_due(long long step) const {
+        return cfg_.full_sweep_period > 0 &&
+               step % cfg_.full_sweep_period == 0;
+    }
+
     /// Scan one rank's state, appending findings to `report`. Returns the
     /// number of findings added. Only the first bad cell per field is
-    /// reported (the scan short-circuits): a blown-up field has thousands
-    /// of bad cells and one location is what a human needs.
+    /// reported — "first" in the fixed j,k,i traversal order, chosen
+    /// deterministically regardless of how the row-parallel scan was
+    /// chunked: a blown-up field has thousands of bad cells and one
+    /// location is what a human needs. Returns 0 without scanning when
+    /// the sampling cadence says this step is not due.
     int scan(const Grid<T>& grid, const State<T>& state, double dt,
              Index rank, long long step, HealthReport& report) const {
+        if (!scan_due(step)) return 0;
+        const Index stride = full_sweep_due(step) || cfg_.sample_stride <= 1
+                                 ? 1
+                                 : cfg_.sample_stride;
+        long long cells = 0;
         int added = 0;
-        if (cfg_.check_finite) added += scan_finite(state, rank, step, report);
-        if (cfg_.cfl_limit > 0.0)
-            added += scan_cfl(grid, state, dt, rank, step, report);
+        if (cfg_.check_finite) {
+            added += scan_finite(state, rank, step, stride, report, cells);
+        }
+        if (cfg_.cfl_limit > 0.0) {
+            added +=
+                scan_cfl(grid, state, dt, rank, step, stride, report, cells);
+        }
+        if (obs::metrics_enabled()) {
+            static auto& scanned = obs::MetricsRegistry::global().counter(
+                "resilience.watchdog_cells");
+            static auto& scans = obs::MetricsRegistry::global().counter(
+                "resilience.watchdog_scans");
+            scanned.add(static_cast<std::uint64_t>(cells));
+            scans.add(1);
+        }
         return added;
     }
 
@@ -143,88 +208,161 @@ class Watchdog {
     }
 
   private:
+    /// Per-row scan record: the row's first bad cell (in k,i traversal
+    /// order) and how many cells the row actually visited. Rows are
+    /// written only by the chunk that owns them, so the row-parallel
+    /// scans need no locking; the merge picks the minimum-(j,k,i) hit.
+    struct RowHit {
+        bool hit = false;
+        Index i = 0, k = 0;
+        double value = 0.0;
+        long long scanned = 0;
+    };
+
+    /// The strided i-offset for row (j,k) at `step`: rotates every step
+    /// (and shears across rows) so repeated sampled scans visit
+    /// different cells instead of the same comb.
+    static Index row_offset(long long step, Index j, Index k, Index stride) {
+        return (static_cast<Index>(step % stride) + j + k) % stride;
+    }
+
     int scan_finite(const State<T>& state, Index rank, long long step,
-                    HealthReport& report) const {
+                    Index stride, HealthReport& report,
+                    long long& cells) const {
         int added = 0;
         auto ids = state.prognostic_ids();
         for (VarId id : ids) {
             const auto& a = state.field(id);
             if (scan_array(a, name_of(id, state.species), rank, step,
-                           report)) {
+                           stride, report, cells)) {
                 ++added;
             }
         }
-        if (scan_array(state.p, "p", rank, step, report)) ++added;
+        if (scan_array(state.p, "p", rank, step, stride, report, cells)) {
+            ++added;
+        }
         return added;
     }
 
     bool scan_array(const Array3<T>& a, const std::string& name, Index rank,
-                    long long step, HealthReport& report) const {
-        for (Index j = 0; j < a.ny(); ++j)
-            for (Index k = 0; k < a.nz(); ++k)
-                for (Index i = 0; i < a.nx(); ++i) {
-                    const double v = static_cast<double>(a(i, j, k));
-                    if (!std::isfinite(v)) {
-                        HealthFinding f;
-                        f.rank = rank;
-                        f.step = step;
-                        f.check = "nonfinite";
-                        f.field = name;
-                        f.i = i;
-                        f.j = j;
-                        f.k = k;
-                        f.value = v;
-                        report.findings.push_back(std::move(f));
-                        return true;
+                    long long step, Index stride, HealthReport& report,
+                    long long& cells) const {
+        const Index ny = a.ny(), nz = a.nz(), nx = a.nx();
+        std::vector<RowHit> rows(static_cast<std::size_t>(ny));
+        parallel_for(ny, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j) {
+                auto& row = rows[static_cast<std::size_t>(j)];
+                for (Index k = 0; k < nz && !row.hit; ++k) {
+                    const Index i0 = row_offset(step, j, k, stride);
+                    for (Index i = i0; i < nx; i += stride) {
+                        ++row.scanned;
+                        const double v = static_cast<double>(a(i, j, k));
+                        if (!std::isfinite(v)) {
+                            row.hit = true;
+                            row.i = i;
+                            row.k = k;
+                            row.value = v;
+                            break;
+                        }
                     }
                 }
+            }
+        });
+        for (Index j = 0; j < ny; ++j) {
+            const auto& row = rows[static_cast<std::size_t>(j)];
+            cells += row.scanned;
+            if (!row.hit) continue;
+            HealthFinding f;
+            f.rank = rank;
+            f.step = step;
+            f.check = "nonfinite";
+            f.field = name;
+            f.i = row.i;
+            f.j = j;
+            f.k = row.k;
+            f.value = row.value;
+            report.findings.push_back(std::move(f));
+            // Skip the remaining rows' cell counts: one finding per
+            // field, and the counts of rows after the hit still arrive
+            // via the loop below.
+            for (Index jj = j + 1; jj < ny; ++jj) {
+                cells += rows[static_cast<std::size_t>(jj)].scanned;
+            }
+            return true;
+        }
         return false;
     }
 
     int scan_cfl(const Grid<T>& grid, const State<T>& state, double dt,
-                 Index rank, long long step, HealthReport& report) const {
+                 Index rank, long long step, Index stride,
+                 HealthReport& report, long long& cells) const {
         const auto& dz = grid.dz_center();
-        for (Index j = 0; j < grid.ny(); ++j)
-            for (Index k = 0; k < grid.nz(); ++k)
-                for (Index i = 0; i < grid.nx(); ++i) {
-                    const double rho =
-                        static_cast<double>(state.rho(i, j, k));
-                    if (!(rho > 0.0)) continue;  // nonfinite scan's job
-                    const double u =
-                        0.5 *
-                        (static_cast<double>(state.rhou(i, j, k)) +
-                         static_cast<double>(state.rhou(i + 1, j, k))) /
-                        rho;
-                    const double v =
-                        0.5 *
-                        (static_cast<double>(state.rhov(i, j, k)) +
-                         static_cast<double>(state.rhov(i, j + 1, k))) /
-                        rho;
-                    const double w =
-                        0.5 *
-                        (static_cast<double>(state.rhow(i, j, k)) +
-                         static_cast<double>(state.rhow(i, j, k + 1))) /
-                        rho;
-                    const double cfl =
-                        dt * (std::abs(u) / grid.dx() +
-                              std::abs(v) / grid.dy() +
-                              std::abs(w) /
-                                  static_cast<double>(dz(i, j, k)));
-                    if (!(cfl <= cfg_.cfl_limit)) {
-                        HealthFinding f;
-                        f.rank = rank;
-                        f.step = step;
-                        f.check = "cfl";
-                        f.field = "advective_cfl";
-                        f.i = i;
-                        f.j = j;
-                        f.k = k;
-                        f.value = cfl;
-                        f.detail = "limit " + std::to_string(cfg_.cfl_limit);
-                        report.findings.push_back(std::move(f));
-                        return 1;
+        const Index ny = grid.ny(), nz = grid.nz(), nx = grid.nx();
+        std::vector<RowHit> rows(static_cast<std::size_t>(ny));
+        parallel_for(ny, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j) {
+                auto& row = rows[static_cast<std::size_t>(j)];
+                for (Index k = 0; k < nz && !row.hit; ++k) {
+                    const Index i0 = row_offset(step, j, k, stride);
+                    for (Index i = i0; i < nx; i += stride) {
+                        ++row.scanned;
+                        const double rho =
+                            static_cast<double>(state.rho(i, j, k));
+                        if (!(rho > 0.0)) continue;  // nonfinite scan's job
+                        const double u =
+                            0.5 *
+                            (static_cast<double>(state.rhou(i, j, k)) +
+                             static_cast<double>(
+                                 state.rhou(i + 1, j, k))) /
+                            rho;
+                        const double v =
+                            0.5 *
+                            (static_cast<double>(state.rhov(i, j, k)) +
+                             static_cast<double>(
+                                 state.rhov(i, j + 1, k))) /
+                            rho;
+                        const double w =
+                            0.5 *
+                            (static_cast<double>(state.rhow(i, j, k)) +
+                             static_cast<double>(
+                                 state.rhow(i, j, k + 1))) /
+                            rho;
+                        const double cfl =
+                            dt * (std::abs(u) / grid.dx() +
+                                  std::abs(v) / grid.dy() +
+                                  std::abs(w) /
+                                      static_cast<double>(dz(i, j, k)));
+                        if (!(cfl <= cfg_.cfl_limit)) {
+                            row.hit = true;
+                            row.i = i;
+                            row.k = k;
+                            row.value = cfl;
+                            break;
+                        }
                     }
                 }
+            }
+        });
+        for (Index j = 0; j < ny; ++j) {
+            const auto& row = rows[static_cast<std::size_t>(j)];
+            cells += row.scanned;
+            if (!row.hit) continue;
+            HealthFinding f;
+            f.rank = rank;
+            f.step = step;
+            f.check = "cfl";
+            f.field = "advective_cfl";
+            f.i = row.i;
+            f.j = j;
+            f.k = row.k;
+            f.value = row.value;
+            f.detail = "limit " + std::to_string(cfg_.cfl_limit);
+            report.findings.push_back(std::move(f));
+            for (Index jj = j + 1; jj < ny; ++jj) {
+                cells += rows[static_cast<std::size_t>(jj)].scanned;
+            }
+            return 1;
+        }
         return 0;
     }
 

@@ -247,7 +247,11 @@ void spit(const fs::path& path, const std::string& bytes) {
 class CheckpointRestartNegative : public ::testing::Test {
   protected:
     void SetUp() override {
-        path_ = fs::temp_directory_path() / "asuca_ckpt_negative.bin";
+        // Unique per test: each TEST is its own ctest process, and two
+        // of them racing on one shared temp file is a real -j flake.
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        path_ = fs::temp_directory_path() /
+                (std::string("asuca_ckpt_negative_") + info->name() + ".bin");
         GridSpec spec;
         spec.nx = 8;
         spec.ny = 8;

@@ -11,11 +11,16 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <thread>
 
 #include "src/cluster/multidomain.hpp"
+#include "src/common/hash.hpp"
+#include "src/parallel/thread_pool.hpp"
 #include "src/core/diagnostics.hpp"
 #include "src/core/initial.hpp"
 #include "src/resilience/fault_injector.hpp"
@@ -566,6 +571,360 @@ TEST(ResilienceRecovery, FaultPlanWithoutResilienceIsRejected) {
     EXPECT_THROW(MultiDomainRunner<double>(spec, 2, 2, SpeciesSet::dry(),
                                            cfg, lockstep),
                  Error);
+}
+
+// ---------------------------------------------------------------------
+// Fused halo integrity (unit level).
+// ---------------------------------------------------------------------
+
+// The fused pack path accumulates the element-wise FNV-1a word inside
+// the copy loop; the receiver's recompute path (begin_receive) must
+// accept it. Odd sizes exercise every tail case.
+TEST(ResilienceChannel, FusedPostHashMatchesStandaloneChecksum) {
+    HaloChannel<double> ch;
+    ch.enable_guard(ChannelGuard{std::chrono::seconds(2), true}, 0, 1, 0);
+    ASSERT_TRUE(ch.integrity_on());
+    int msg = 0;
+    for (std::size_t size : {std::size_t(1), std::size_t(3), std::size_t(7),
+                             std::size_t(13), std::size_t(64),
+                             std::size_t(129)}) {
+        auto& buf = ch.begin_post(size);
+        hash::Fnv4 h;
+        for (std::size_t n = 0; n < buf.size(); ++n) {
+            buf[n] = 0.25 * static_cast<double>(msg * 1000 + int(n)) - 3.0;
+            h.add(buf[n]);
+        }
+        // The streaming 4-lane accumulator must equal the block
+        // function the receiver's recompute path uses — including the
+        // tail lanes at odd sizes.
+        EXPECT_EQ(h.digest(), hash::fnv1a_elems4(buf.data(), buf.size()));
+        ch.finish_post_hashed(h.digest());
+        const auto& got = ch.begin_receive();  // recompute-verify path
+        ASSERT_EQ(got.size(), size);
+        EXPECT_EQ(got[size - 1],
+                  0.25 * static_cast<double>(msg * 1000 + int(size) - 1) -
+                      3.0);
+        ch.finish_receive();
+        ++msg;
+    }
+}
+
+TEST(ResilienceChannel, FusedPostHashMatchesStandaloneChecksumFloat) {
+    HaloChannel<float> ch;
+    ch.enable_guard(ChannelGuard{std::chrono::seconds(2), true}, 0, 1, 1);
+    auto& buf = ch.begin_post(37);
+    hash::Fnv4 h;
+    for (std::size_t n = 0; n < buf.size(); ++n) {
+        buf[n] = 1.5f * static_cast<float>(n) - 7.0f;
+        h.add(buf[n]);
+    }
+    EXPECT_EQ(h.digest(), hash::fnv1a_elems4(buf.data(), buf.size()));
+    ch.finish_post_hashed(h.digest());
+    EXPECT_EQ(ch.begin_receive()[36], 1.5f * 36.0f - 7.0f);
+    ch.finish_receive();
+}
+
+// The fused unpack path: begin_receive_deferred() + hash-while-copying
+// + verify_receive() must detect in-flight corruption exactly like the
+// recompute path does.
+TEST(ResilienceChannel, DeferredVerifyDetectsCorruption) {
+    HaloChannel<double> ch;
+    ch.enable_guard(ChannelGuard{std::chrono::seconds(2), true}, 4, 9, 3);
+    {
+        auto& buf = ch.begin_post(32);
+        hash::Fnv4 h;
+        for (std::size_t n = 0; n < buf.size(); ++n) {
+            buf[n] = static_cast<double>(n);
+            h.add(buf[n]);
+        }
+        ch.finish_post_hashed(h.digest(), /*corrupt_in_flight=*/true);
+    }
+    const auto& got = ch.begin_receive_deferred();
+    const std::uint64_t rh = hash::fnv1a_elems4(got.data(), got.size());
+    try {
+        ch.verify_receive(rh);
+        FAIL() << "deferred verify missed corruption";
+    } catch (const HaloFaultError& e) {
+        EXPECT_EQ(e.fault, HaloFault::Corrupt);
+        EXPECT_EQ(e.owner_rank, 4);
+        EXPECT_EQ(e.suspect_rank, 9);
+    }
+}
+
+TEST(ResilienceChannel, DeferredVerifyPassesCleanMessages) {
+    HaloChannel<double> ch;
+    ch.enable_guard(ChannelGuard{std::chrono::seconds(2), true}, 0, 1, 0);
+    for (int msg = 0; msg < 3; ++msg) {
+        auto& buf = ch.begin_post(17);
+        hash::Fnv4 h;
+        for (std::size_t n = 0; n < buf.size(); ++n) {
+            buf[n] = static_cast<double>(msg) + 0.5 * static_cast<double>(n);
+            h.add(buf[n]);
+        }
+        ch.finish_post_hashed(h.digest());
+        const auto& got = ch.begin_receive_deferred();
+        hash::Fnv4 rh;
+        double sink = 0.0;
+        for (std::size_t n = 0; n < got.size(); ++n) {
+            sink += got[n];  // "unpack" fused with the hash
+            rh.add(got[n]);
+        }
+        ch.verify_receive(rh.digest());
+        ch.finish_receive();
+        EXPECT_GT(sink, 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sampled watchdog (unit level).
+// ---------------------------------------------------------------------
+
+// With stride S the scan of row (j,k) starts at (step + j + k) % S, so
+// a single bad cell at interior i is seen exactly when
+// step ≡ (i - j - k) (mod S). The rotation guarantees every cell is
+// visited within S scans even without a full sweep.
+TEST(WatchdogSampled, StridedScanRotatesAcrossSteps) {
+    GridSpec spec = make_global();
+    Grid<double> grid(spec);
+    State<double> state(grid, SpeciesSet::dry());
+    state.rho.fill(1.0);
+    state.rhotheta.fill(300.0);
+    state.p.fill(1.0e5);
+    state.rhotheta(5, 0, 0) = std::numeric_limits<double>::quiet_NaN();
+
+    resilience::WatchdogConfig cfg;
+    cfg.sample_stride = 4;
+    cfg.full_sweep_period = 8;
+    EXPECT_EQ(cfg.detection_bound(), 8);
+    resilience::Watchdog<double> dog(cfg);
+    for (long long step = 1; step <= 8; ++step) {
+        resilience::HealthReport report;
+        const int found = dog.scan(grid, state, 4.0, 0, step, report);
+        // i=5, j=0, k=0: strided hit iff step % 4 == 1; step 8 is the
+        // periodic exhaustive sweep and must hit regardless.
+        const bool expect_hit = (step % 4 == 1) || (step % 8 == 0);
+        EXPECT_EQ(found, expect_hit ? 1 : 0) << "step " << step;
+        if (expect_hit) {
+            const auto* f = report.first("nonfinite");
+            ASSERT_NE(f, nullptr);
+            EXPECT_EQ(f->i, 5);
+            EXPECT_EQ(f->j, 0);
+            EXPECT_EQ(f->k, 0);
+        }
+    }
+}
+
+TEST(WatchdogSampled, SamplePeriodGatesScanCadence) {
+    GridSpec spec = make_global();
+    Grid<double> grid(spec);
+    State<double> state(grid, SpeciesSet::dry());
+    state.rho.fill(1.0);
+    state.rhotheta.fill(300.0);
+    state.p.fill(1.0e5);
+    state.rho(2, 2, 2) = std::numeric_limits<double>::quiet_NaN();
+
+    resilience::WatchdogConfig cfg;
+    cfg.sample_period = 3;
+    EXPECT_EQ(cfg.detection_bound(), 3);
+    resilience::Watchdog<double> dog(cfg);
+    EXPECT_FALSE(dog.scan_due(1));
+    EXPECT_FALSE(dog.scan_due(2));
+    EXPECT_TRUE(dog.scan_due(3));
+    resilience::HealthReport off_report;
+    EXPECT_EQ(dog.scan(grid, state, 4.0, 0, 1, off_report), 0);
+    EXPECT_TRUE(off_report.healthy());
+    resilience::HealthReport on_report;
+    EXPECT_EQ(dog.scan(grid, state, 4.0, 0, 3, on_report), 1);
+    EXPECT_TRUE(on_report.has("nonfinite"));
+}
+
+// The row-parallel scan must report the same "first" bad cell (fixed
+// j,k,i traversal order) no matter how the rows were chunked over
+// threads.
+TEST(WatchdogSampled, ParallelScanFindingIsDeterministic) {
+    GridSpec spec = make_global();
+    Grid<double> grid(spec);
+    State<double> state(grid, SpeciesSet::dry());
+    state.rho.fill(1.0);
+    state.rhotheta.fill(300.0);
+    state.p.fill(1.0e5);
+    // Two bad cells in the same field; j=3 precedes j=7 in traversal
+    // order, so (2,3,1) is the canonical finding.
+    state.rho(2, 3, 1) = std::numeric_limits<double>::quiet_NaN();
+    state.rho(1, 7, 0) = std::numeric_limits<double>::quiet_NaN();
+
+    resilience::Watchdog<double> dog;
+    for (std::size_t threads : {std::size_t(1), std::size_t(4)}) {
+        ThreadPool pool(threads);
+        ThreadPool::ScopedOverride guard(pool);
+        resilience::HealthReport report;
+        EXPECT_EQ(dog.scan(grid, state, 4.0, 0, 0, report), 1);
+        const auto* f = report.first("nonfinite");
+        ASSERT_NE(f, nullptr);
+        EXPECT_EQ(f->field, "rho");
+        EXPECT_EQ(f->i, 2);
+        EXPECT_EQ(f->j, 3);
+        EXPECT_EQ(f->k, 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Async snapshots (runner level).
+// ---------------------------------------------------------------------
+
+void expect_padded_bitwise(const State<double>& a, const State<double>& b) {
+    const auto eq = [](const Array3<double>& x, const Array3<double>& y,
+                       const char* name) {
+        ASSERT_EQ(x.size(), y.size()) << name;
+        EXPECT_EQ(std::memcmp(x.data(), y.data(), x.size() * sizeof(double)),
+                  0)
+            << name;
+    };
+    eq(a.rho, b.rho, "rho");
+    eq(a.rhou, b.rhou, "rhou");
+    eq(a.rhov, b.rhov, "rhov");
+    eq(a.rhow, b.rhow, "rhow");
+    eq(a.rhotheta, b.rhotheta, "rhotheta");
+    eq(a.p, b.p, "p");
+    eq(a.rho_ref, b.rho_ref, "rho_ref");
+    eq(a.p_ref, b.p_ref, "p_ref");
+    eq(a.rhotheta_ref, b.rhotheta_ref, "rhotheta_ref");
+    eq(a.cs2, b.cs2, "cs2");
+    ASSERT_EQ(a.tracers.size(), b.tracers.size());
+    for (std::size_t n = 0; n < a.tracers.size(); ++n) {
+        eq(a.tracers[n], b.tracers[n], "tracer");
+    }
+}
+
+// The async double-buffered snapshot must hold exactly the rank states
+// as of its capture step — bitwise, including halos and the static
+// reference fields — and a restore from it must replay to the same
+// trajectory as the uninterrupted run.
+TEST(ResilienceSnapshot, AsyncSnapshotRestoresBitwiseStateAndReplays) {
+    const auto spec = make_global();
+    const auto cfg = make_stepper_cfg();
+    const auto species = SpeciesSet::warm_rain();
+    Grid<double> grid(spec);
+    State<double> initial(grid, species);
+    init_case(grid, species, initial);
+
+    auto md = resilient_config(OverlapMode::Split);
+    md.resilience.checkpoint_interval = 3;
+    MultiDomainRunner<double> runner(spec, 2, 2, species, cfg, md);
+    runner.scatter(initial);
+    runner.advance(3);
+    std::vector<State<double>> at3;
+    for (Index r = 0; r < runner.rank_count(); ++r) {
+        at3.push_back(runner.rank_state(r));
+    }
+    runner.advance(2);  // steps 4,5 — snapshot cadence not due yet
+    State<double> ref5(grid, species);
+    runner.gather(ref5);
+
+    runner.restore_last_snapshot();
+    EXPECT_EQ(runner.step_index(), 3);
+    EXPECT_NE(runner.recovery_log().find("rollback to step 3"),
+              std::string::npos);
+    EXPECT_NE(runner.recovery_log().find("manual restore"),
+              std::string::npos);
+    for (Index r = 0; r < runner.rank_count(); ++r) {
+        expect_padded_bitwise(at3[static_cast<std::size_t>(r)],
+                              runner.rank_state(r));
+    }
+
+    runner.advance(2);  // replay 4,5
+    EXPECT_EQ(runner.step_index(), 5);
+    State<double> got5(grid, species);
+    runner.gather(got5);
+    expect_bitwise(ref5, got5);
+}
+
+TEST(ResilienceSnapshot, ManualRestoreRequiresResilience) {
+    const auto spec = make_global();
+    const auto cfg = make_stepper_cfg();
+    MultiDomainConfig md;  // resilience off
+    MultiDomainRunner<double> runner(spec, 1, 1, SpeciesSet::dry(), cfg, md);
+    EXPECT_THROW(runner.restore_last_snapshot(), Error);
+}
+
+// ---------------------------------------------------------------------
+// Sampled watchdog + async snapshots end to end.
+// ---------------------------------------------------------------------
+
+// A strided watchdog may miss a fresh single-cell corruption; the NaN
+// then spreads through the next step's stencils and implicit solves,
+// the following scan catches it, and rollback lands on the last clean
+// snapshot (snapshots copy the stage workspace, which injected faults
+// never touch). The recovered trajectory must still equal a clean run
+// bitwise, and detection must stay within the configured bound.
+TEST(ResilienceRecovery, SampledWatchdogRecoversBitwiseWithinBound) {
+    const auto spec = make_global();
+    const auto cfg = make_stepper_cfg();
+    const auto species = SpeciesSet::dry();
+    Grid<double> grid(spec);
+    State<double> initial(grid, species);
+    init_case(grid, species, initial);
+
+    State<double> ref(grid, species);
+    {
+        MultiDomainRunner<double> clean(spec, 2, 2, species, cfg,
+                                        resilient_config(OverlapMode::None));
+        clean.scatter(initial);
+        clean.advance(5);
+        clean.gather(ref);
+    }
+
+    FaultPlan plan;
+    plan.push_back({FaultKind::FieldNaN, 2, 1, VarId::RhoTheta, 4, 2, 3, {}});
+    auto md = resilient_config(OverlapMode::None, plan);
+    md.resilience.watchdog.sample_stride = 4;
+    md.resilience.watchdog.full_sweep_period = 4;
+    ASSERT_EQ(md.resilience.watchdog.detection_bound(), 4);
+    MultiDomainRunner<double> runner(spec, 2, 2, species, cfg, md);
+    runner.scatter(initial);
+    runner.advance(5);
+
+    // Injected at step 1; the strided scan at step 1 starts row
+    // (j=2,k=3) at offset (1+2+3)%4 = 2 and steps by 4, so cell i=4 is
+    // missed. By step 2 the NaN has spread wide enough for the strided
+    // scan; rollback to the clean step-2 snapshot, replay bitwise.
+    EXPECT_NE(runner.recovery_log().find("rollback to step 2"),
+              std::string::npos);
+    EXPECT_NE(runner.recovery_log().find("nonfinite"), std::string::npos);
+    EXPECT_EQ(runner.step_index(), 5);
+    State<double> got(grid, species);
+    runner.gather(got);
+    expect_bitwise(ref, got);
+}
+
+// ---------------------------------------------------------------------
+// Guarded-mode forcing for CI.
+// ---------------------------------------------------------------------
+
+TEST(ResilienceConfigEnv, ForceGuardedFlipsDisabledRunners) {
+    const auto spec = make_global();
+    const auto cfg = make_stepper_cfg();
+    ASSERT_EQ(setenv("ASUCA_FORCE_GUARDED", "1", 1), 0);
+    {
+        MultiDomainConfig md;  // resilience off in the config...
+        MultiDomainRunner<double> runner(spec, 2, 2, SpeciesSet::dry(), cfg,
+                                         md);
+        EXPECT_TRUE(runner.resilience_enabled());  // ...forced on by env
+    }
+    {
+        // A fault plan with resilience disabled stays a config error —
+        // the env override must not launder it into a valid setup.
+        MultiDomainConfig md;
+        md.resilience.faults.push_back(
+            {FaultKind::FieldNaN, 0, 0, VarId::Rho, 0, 0, 0, {}});
+        EXPECT_THROW(
+            MultiDomainRunner<double>(spec, 2, 2, SpeciesSet::dry(), cfg, md),
+            Error);
+    }
+    ASSERT_EQ(unsetenv("ASUCA_FORCE_GUARDED"), 0);
+    MultiDomainConfig md;
+    MultiDomainRunner<double> runner(spec, 2, 2, SpeciesSet::dry(), cfg, md);
+    EXPECT_FALSE(runner.resilience_enabled());
 }
 
 }  // namespace
