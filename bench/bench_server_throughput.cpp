@@ -6,9 +6,11 @@
 //
 //   ./bench/bench_server_throughput [workers requests]
 //
-// Emits BENCH_server.json: per-phase (1x, 2x) requests/s, client-observed
-// p50/p99 latency (submit -> completion, queueing included), and the
-// degradation/shed/failure counts.
+// Emits BENCH_server.json: per-phase (1x, 2x, and 1x under injected
+// WorkerPoison faults) requests/s, client-observed p50/p99 latency
+// (submit -> completion, queueing included), the degradation/shed/
+// failure counts, and the retry-ladder counters for the faulted row
+// (retried/quarantined/reinstated, dropped must stay 0).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -57,11 +59,17 @@ double percentile(std::vector<double> sorted, double p) {
 
 /// Offer `n` requests at a fixed inter-arrival gap and measure
 /// client-observed completion latency (one waiter thread per handle).
-PhaseResult run_phase(int workers, int n, double gap_ms) {
+/// A non-empty fault plan arms the server's injector (WorkerPoison):
+/// the retry ladder must absorb the faults with zero dropped requests.
+PhaseResult run_phase(int workers, int n, double gap_ms,
+                      resilience::FaultPlan faults = {}) {
     ServerConfig cfg;
     cfg.n_workers = static_cast<std::size_t>(workers);
     cfg.queue_capacity = 4;      // small bound: overload hits the ladder
     cfg.cache_results = false;   // measure executions, not cache hits
+    cfg.faults = std::move(faults);
+    cfg.retry_backoff = std::chrono::milliseconds(1);
+    cfg.canary_backoff = std::chrono::milliseconds(1);
     ForecastServer srv(cfg);
 
     std::vector<double> latency_ms(static_cast<std::size_t>(n), 0.0);
@@ -127,19 +135,35 @@ int main(int argc, char** argv) {
         double factor;
     };
     io::JsonArray phases_json;
-    std::printf("\n  %-6s %10s %10s %9s %9s %6s %9s %5s\n", "load",
+    std::printf("\n  %-9s %10s %10s %9s %9s %6s %9s %5s\n", "load",
                 "offered/s", "served/s", "p50", "p99", "full", "degraded",
                 "shed");
-    for (const Phase phase : {Phase{"1x", 1.0}, Phase{"2x", 2.0}}) {
+    // The faulted-load row re-runs the 1x phase with injected
+    // WorkerPoison faults: the retry ladder (quarantine + re-dispatch +
+    // canary reinstatement) must absorb them with zero dropped requests.
+    resilience::FaultPlan chaos;
+    chaos.push_back({resilience::FaultKind::WorkerPoison, 0, 0});
+    if (workers > 1) {
+        chaos.push_back({resilience::FaultKind::WorkerPoison, 1, 2});
+    }
+    struct Run {
+        Phase phase;
+        resilience::FaultPlan plan;
+    };
+    for (const Run& run : {Run{{"1x", 1.0}, {}}, Run{{"2x", 2.0}, {}},
+                           Run{{"1x+faults", 1.0}, chaos}}) {
+        const Phase phase = run.phase;
         const double gap_ms = cost_ms / workers / phase.factor;
-        const PhaseResult r = run_phase(workers, requests, gap_ms);
-        std::printf("  %-6s %10.2f %10.2f %7.1fms %7.1fms %6d %9d %5llu\n",
+        const PhaseResult r =
+            run_phase(workers, requests, gap_ms, run.plan);
+        std::printf("  %-9s %10.2f %10.2f %7.1fms %7.1fms %6d %9d %5llu\n",
                     phase.name, r.offered_rps, r.achieved_rps, r.p50_ms,
                     r.p99_ms, r.completed_full, r.completed_degraded,
                     (unsigned long long)r.stats.shed);
         io::JsonValue row;
         row.set("phase", phase.name);
         row.set("offered_factor", phase.factor);
+        row.set("faults_injected", (long long)run.plan.size());
         row.set("offered_rps", r.offered_rps);
         row.set("achieved_rps", r.achieved_rps);
         row.set("latency_p50_ms", r.p50_ms);
@@ -151,11 +175,17 @@ int main(int argc, char** argv) {
         row.set("degraded", (long long)r.stats.degraded);
         row.set("shed", (long long)r.stats.shed);
         row.set("failed", (long long)r.stats.failed);
+        row.set("retried", (long long)r.stats.retried);
+        row.set("quarantined", (long long)r.stats.quarantined);
+        row.set("reinstated", (long long)r.stats.reinstated);
+        row.set("dropped", (long long)(r.stats.shed + r.stats.failed));
         phases_json.push_back(std::move(row));
     }
 
     bench::note("2x overload must show degraded > 0 and shed == 0: the");
     bench::note("ladder trades resolution for admission, never drops.");
+    bench::note("1x+faults must show quarantined > 0 and dropped == 0:");
+    bench::note("the retry ladder absorbs worker faults, never drops.");
 
     io::JsonValue doc;
     doc.set("config", "warm_bubble_16x16x12");

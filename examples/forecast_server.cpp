@@ -6,6 +6,7 @@
 //
 //   ./examples/forecast_server [members workers steps]
 //                              [--overload] [--trace=FILE.json]
+//                              [--inject=halo|nan|stall] [--store=DIR]
 //
 // --overload shrinks the queue and floods it with extra requests so the
 // admission controller's degradation ladder engages (watch the level
@@ -13,8 +14,17 @@
 // request). --trace writes a Chrome trace-event JSON with one span per
 // executed request, tagged by worker.
 //
+// --inject adds a decomposed 2x2 request with a deterministic fault:
+// "halo"/"nan" are transient (the runner's rollback recovers them
+// inline), "stall" is fatal to the attempt (the server's retry ladder
+// quarantines the worker and re-dispatches). --store=DIR spills the
+// checkpoint store to DIR (durable epochs, verified reloads).
+//
 // Exit status is 0 only if every request completed, the ensemble members
-// were pairwise distinct, and the duplicate submission was deduplicated.
+// were pairwise distinct, the duplicate submission was deduplicated, an
+// injected request matched its clean run's fingerprint, and (with
+// --store) the on-disk analysis epoch verified.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,12 +43,18 @@ int main(int argc, char** argv) {
     int steps = 2;
     bool overload = false;
     std::string trace_path;
+    std::string inject;
+    std::string store_dir;
     int n_pos = 0;
     for (int a = 1; a < argc; ++a) {
         if (std::strcmp(argv[a], "--overload") == 0) {
             overload = true;
         } else if (std::strncmp(argv[a], "--trace=", 8) == 0) {
             trace_path = argv[a] + 8;
+        } else if (std::strncmp(argv[a], "--inject=", 9) == 0) {
+            inject = argv[a] + 9;
+        } else if (std::strncmp(argv[a], "--store=", 8) == 0) {
+            store_dir = argv[a] + 8;
         } else if (n_pos == 0) {
             members = std::atoi(argv[a]);
             ++n_pos;
@@ -66,12 +82,17 @@ int main(int argc, char** argv) {
     ServerConfig cfg;
     cfg.n_workers = static_cast<std::size_t>(workers < 1 ? 1 : workers);
     cfg.queue_capacity = overload ? 4 : 32;
+    cfg.store_dir = store_dir;
+    cfg.retry_backoff = std::chrono::milliseconds(2);
+    cfg.canary_backoff = std::chrono::milliseconds(2);
     ForecastServer srv(cfg);
     srv.checkpoints().capture("analysis", analysis);
 
-    std::printf("forecast server: %d workers, queue capacity %zu%s\n",
+    std::printf("forecast server: %d workers, queue capacity %zu%s%s%s\n",
                 workers, cfg.queue_capacity,
-                overload ? " (overload demo)" : "");
+                overload ? " (overload demo)" : "",
+                store_dir.empty() ? "" : ", durable store ",
+                store_dir.c_str());
 
     // The ensemble: `members` perturbed forks of the analysis.
     EnsembleRequest ens;
@@ -92,6 +113,23 @@ int main(int argc, char** argv) {
     mw.steps = steps;
     ForecastHandle first = srv.submit(mw);
     ForecastHandle duplicate = srv.submit(mw);
+
+    // Fault drill: a decomposed request with a deterministic injected
+    // fault, plus its clean twin run serially as the expected answer.
+    ForecastHandle injected;
+    std::uint64_t inject_want = 0;
+    if (!inject.empty()) {
+        ScenarioSpec dec = base;
+        dec.steps = 2;
+        dec.px = 2;
+        dec.py = 2;
+        dec.overlap = "split";
+        inject_want =
+            run_forecast(canonicalize(dec), nullptr, false).fingerprint;
+        dec.inject = inject;
+        injected = srv.submit(dec);
+    }
+
     std::vector<ForecastHandle> flood;
     if (overload) {
         for (int n = 0; n < 12; ++n) {
@@ -125,6 +163,19 @@ int main(int argc, char** argv) {
     }
     report("mountain_wave", first);
     report("duplicate", duplicate);
+    bool inject_ok = true;
+    if (injected.valid()) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "inject:%s", inject.c_str());
+        report(name, injected);
+        const ForecastResult& r = injected.wait();
+        inject_ok = r.ok() && r.fingerprint == inject_want;
+        if (!inject_ok) {
+            std::printf("ERROR: injected '%s' request did not recover to "
+                        "the clean run's fingerprint\n",
+                        inject.c_str());
+        }
+    }
     for (std::size_t n = 0; n < flood.size(); ++n) {
         char name[32];
         std::snprintf(name, sizeof(name), "flood %zu", n);
@@ -139,6 +190,34 @@ int main(int argc, char** argv) {
                 (unsigned long long)st.dedup_hits,
                 (unsigned long long)st.degraded, (unsigned long long)st.shed,
                 (unsigned long long)st.failed);
+    if (!inject.empty()) {
+        std::printf("  ladder: %llu retried, %llu quarantined, "
+                    "%llu reinstated\n",
+                    (unsigned long long)st.retried,
+                    (unsigned long long)st.quarantined,
+                    (unsigned long long)st.reinstated);
+    }
+
+    // With --store, the analysis must be durable: an on-disk epoch that
+    // verifies standalone (what a restarted server would reload).
+    bool store_ok = true;
+    if (!store_dir.empty()) {
+        DurableCheckpointStore* store = srv.durable_store();
+        store_ok = store != nullptr && store->latest_epoch("analysis") >= 1;
+        if (store_ok) {
+            const std::string bytes = io::read_file(store->epoch_path(
+                "analysis", store->latest_epoch("analysis")));
+            store_ok = io::verify_checkpoint_blob(bytes);
+            std::printf("  durable: analysis epoch %lld on disk, %zu "
+                        "bytes, %s\n",
+                        store->latest_epoch("analysis"), bytes.size(),
+                        store_ok ? "verified" : "CORRUPT");
+        }
+        if (!store_ok) {
+            std::printf("ERROR: durable store did not hold a verifiable "
+                        "analysis epoch\n");
+        }
+    }
 
     if (!trace_path.empty()) {
         obs::TraceRecorder::global().disable();
@@ -159,7 +238,7 @@ int main(int argc, char** argv) {
                     "overload)\n");
     }
     return (all_ok && members_distinct && duplicate.attached() &&
-            st.shed == 0 && st.failed == 0)
+            inject_ok && store_ok && st.shed == 0 && st.failed == 0)
                ? 0
                : 1;
 }

@@ -66,6 +66,27 @@ enum class OverlapMode {
     SplitPipeline  ///< + inter-variable tracer pipelining (method 1)
 };
 
+/// A step failure the runner cannot repair by rollback-and-replay: an
+/// implicated rank died, missed its halo deadline, or a transient fault
+/// persisted past max_retries. Carries the suspect-rank attribution so
+/// the layer above (the forecast server's retry ladder) can quarantine
+/// the implicated worker slot and re-dispatch the request elsewhere.
+/// Derives from Error, so callers that treat any runner failure as a
+/// plain exception keep working unchanged.
+class FatalFaultError : public Error {
+  public:
+    FatalFaultError(const std::string& what, std::vector<Index> suspects,
+                    bool exhausted = false)
+        : Error(what), suspect_ranks(std::move(suspects)),
+          retries_exhausted(exhausted) {}
+    /// Implicated rank indices (deduplicated, ascending; may be empty
+    /// when the failure carried no attribution).
+    std::vector<Index> suspect_ranks;
+    /// True when the fault itself was transient but survived every
+    /// rollback-and-replay attempt the policy allowed.
+    bool retries_exhausted;
+};
+
 /// Fault detection + recovery policy of the runner (the resilience
 /// subsystem). Disabled by default: the executors behave exactly as
 /// before — infinite futex waits, no integrity words, no snapshots —
@@ -74,6 +95,10 @@ struct ResilienceConfig {
     bool enabled = false;
     /// Long steps between in-memory rank snapshots (rollback points).
     long long checkpoint_interval = 1;
+    /// j-slab dirty tracking in the rollback snapshots (copy only rows
+    /// touched since the buffer last held them). The full-copy fallback
+    /// is kept tested by the resilience suites and the ablation bench.
+    bool incremental_snapshots = true;
     /// Consecutive rollbacks tolerated before a fault is declared
     /// persistent (fatal).
     int max_retries = 3;
@@ -186,7 +211,8 @@ class MultiDomainRunner {
                             [this](Index r) -> const State<T>& {
                                 return ranks_[size_t(r)]->stepper
                                     .stage_workspace();
-                            });
+                            },
+                            rc.incremental_snapshots);
         }
     }
 
@@ -323,14 +349,20 @@ class MultiDomainRunner {
                 // the rank-side barriers / the finish below).
                 step_impl();
             } catch (...) {
-                const FailureVerdict v = classify_failure();
-                ASUCA_REQUIRE(!v.fatal,
-                              "multi-domain step " << step_index_
-                                                   << " failed: " << v.what);
+                FailureVerdict v = classify_failure();
+                if (v.fatal) {
+                    throw FatalFaultError(
+                        "multi-domain step " + std::to_string(step_index_) +
+                            " failed: " + v.what,
+                        std::move(v.suspects));
+                }
                 ++retries;
-                ASUCA_REQUIRE(retries <= rc.max_retries,
-                              "transient fault persists after "
-                                  << retries << " attempts: " << v.what);
+                if (retries > rc.max_retries) {
+                    throw FatalFaultError(
+                        "transient fault persists after " +
+                            std::to_string(retries) + " attempts: " + v.what,
+                        std::move(v.suspects), /*exhausted=*/true);
+                }
                 rollback(v.what);
                 continue;
             }
@@ -361,10 +393,22 @@ class MultiDomainRunner {
                                    "resilience");
                 last_report_ = report;
                 ++retries;
-                ASUCA_REQUIRE(retries <= rc.max_retries,
-                              "watchdog fault persists after "
-                                  << retries << " attempts:\n"
-                                  << report.to_string());
+                if (retries > rc.max_retries) {
+                    std::vector<Index> suspects;
+                    for (const auto& f : report.findings) {
+                        suspects.push_back(f.rank);
+                    }
+                    std::sort(suspects.begin(), suspects.end());
+                    suspects.erase(
+                        std::unique(suspects.begin(), suspects.end()),
+                        suspects.end());
+                    throw FatalFaultError("watchdog fault persists after " +
+                                              std::to_string(retries) +
+                                              " attempts:\n" +
+                                              report.to_string(),
+                                          std::move(suspects),
+                                          /*exhausted=*/true);
+                }
                 rollback("watchdog: " + report.findings.front().check);
                 continue;
             }
@@ -868,6 +912,10 @@ class MultiDomainRunner {
     struct FailureVerdict {
         bool fatal = true;
         std::string what;
+        /// Implicated ranks (dedup'd, ascending): the killed ranks, or
+        /// the deadline suspects — the attribution a fatal verdict hands
+        /// up to the server's quarantine ladder via FatalFaultError.
+        std::vector<Index> suspects;
     };
 
     /// Decide whether the exception(s) of a failed step are transient
@@ -924,10 +972,12 @@ class MultiDomainRunner {
             v.fatal = true;
             v.what = "rank(s) " + join_ranks(kill_ranks) +
                      " died (injected kill)";
+            v.suspects = std::move(kill_ranks);
         } else if (!timeout_suspects.empty()) {
             v.fatal = true;
             v.what = "halo deadline missed; suspect rank(s) " +
                      join_ranks(timeout_suspects);
+            v.suspects = std::move(timeout_suspects);
         } else if (!other_detail.empty()) {
             v.fatal = true;
             v.what = other_detail;

@@ -1,0 +1,234 @@
+// Durable checkpoint blobs: crash-safe file persistence plus a
+// standalone structural verifier for the v3 stream format.
+//
+// The forecast service spills its in-memory checkpoint blobs to disk
+// (src/server/checkpoint_store.hpp) so a tenant's warm-start state
+// survives a process restart and a poisoned worker can replay from the
+// last durable epoch. Two properties matter there:
+//
+//   * Atomicity — a crash mid-write must never leave a half-written
+//     file under the final name. write_file_atomic() writes to a
+//     same-directory temp name and commits with std::filesystem::rename,
+//     which POSIX guarantees is atomic within a filesystem: readers see
+//     the old bytes or the new bytes, never a torn mix.
+//   * Detectability — bytes CAN rot on disk (torn sector under the old
+//     name, bit flip, truncation by a crashed writer on non-POSIX
+//     semantics). verify_checkpoint_blob() walks the v3 section layout
+//     and recomputes every per-section FNV-1a checksum WITHOUT needing a
+//     live State to deserialize into, so a store can reject a damaged
+//     epoch at load time — before anything touches model state — and
+//     fall back to an older epoch.
+//
+// The verifier duplicates only the v3 FRAMING (header, array meta, side
+// entries), not the semantic validation load_state() does against a
+// model; it is deliberately shape-agnostic so the server can verify
+// blobs for scenarios it has not instantiated.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/io/checkpoint.hpp"
+
+namespace asuca::io {
+
+/// Read a whole file into a string. Throws asuca::Error when the file
+/// cannot be opened or read.
+inline std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    ASUCA_REQUIRE(in.good(), "cannot open " << path);
+    const auto bytes = static_cast<std::streamsize>(in.tellg());
+    in.seekg(0);
+    std::string out(static_cast<std::size_t>(bytes), '\0');
+    in.read(out.data(), bytes);
+    ASUCA_REQUIRE(in.good(), "short read from " << path);
+    return out;
+}
+
+/// Crash-safe write: the bytes land under a same-directory temp name and
+/// are committed by an atomic rename, so `path` only ever names a fully
+/// written file. Overwrites an existing file atomically. Throws on I/O
+/// failure (the temp file is cleaned up best-effort).
+inline void write_file_atomic(const std::string& path,
+                              const std::string& bytes) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        ASUCA_REQUIRE(out.good(), "cannot open " << tmp);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out.good()) {
+            out.close();
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            ASUCA_REQUIRE(false, "write failed: " << tmp);
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        ASUCA_REQUIRE(false, "atomic rename to " << path << " failed");
+    }
+}
+
+namespace detail {
+
+/// Bounded cursor over an in-memory blob for the structural walk below.
+/// Every read is length-checked; `fail` collects the first reason.
+struct BlobCursor {
+    const unsigned char* p;
+    std::size_t left;
+    std::string why;
+
+    bool take(void* dst, std::size_t n, const char* what) {
+        if (!why.empty()) return false;
+        if (left < n) {
+            why = std::string("truncated (") + what + ")";
+            return false;
+        }
+        std::memcpy(dst, p, n);
+        p += n;
+        left -= n;
+        return true;
+    }
+
+    /// Checksum-verified payload section: `n` payload bytes followed by
+    /// the stored FNV-1a word.
+    bool section(std::size_t n, const char* what) {
+        if (!why.empty()) return false;
+        if (left < n + sizeof(std::uint64_t)) {
+            why = std::string("truncated (") + what + ")";
+            return false;
+        }
+        const std::uint64_t sum = section_checksum(p, n);
+        std::uint64_t stored = 0;
+        std::memcpy(&stored, p + n, sizeof(stored));
+        p += n + sizeof(stored);
+        left -= n + sizeof(stored);
+        if (sum != stored) {
+            why = std::string(what) + " checksum mismatch";
+            return false;
+        }
+        return true;
+    }
+};
+
+}  // namespace detail
+
+/// Structurally verify a v3 checkpoint blob: header sanity, every field
+/// array's framing and checksum, every side-state entry's framing and
+/// checksum, and no trailing garbage. Returns true for an intact blob;
+/// on failure returns false with the first problem in `*why` (when
+/// non-null). Never throws, never needs a model — this is the durable
+/// store's load-time gate.
+inline bool verify_checkpoint_blob(const std::string& blob,
+                                   std::string* why = nullptr) {
+    detail::BlobCursor c{
+        reinterpret_cast<const unsigned char*>(blob.data()), blob.size(), {}};
+    const auto fail = [&](const std::string& reason) {
+        if (why != nullptr) *why = reason;
+        return false;
+    };
+
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0, elem_size = 0, n_tracers = 0;
+    double time = 0.0;
+    c.take(&magic, sizeof(magic), "file header");
+    c.take(&version, sizeof(version), "file header");
+    c.take(&elem_size, sizeof(elem_size), "file header");
+    c.take(&n_tracers, sizeof(n_tracers), "file header");
+    c.take(&time, sizeof(time), "file header");
+    if (!c.why.empty()) return fail(c.why);
+    if (magic != detail::kMagic) return fail("not an ASUCA checkpoint");
+    if (version != detail::kVersion) {
+        return fail("unsupported checkpoint version " +
+                    std::to_string(version));
+    }
+    if (elem_size != 4 && elem_size != 8) {
+        return fail("implausible element size " + std::to_string(elem_size));
+    }
+    if (n_tracers > 64) {
+        return fail("implausible tracer count " + std::to_string(n_tracers));
+    }
+    for (std::uint32_t n = 0; n < n_tracers; ++n) {
+        std::int32_t sp = 0;
+        if (!c.take(&sp, sizeof(sp), "species table")) return fail(c.why);
+    }
+
+    // 10 core field arrays (6 dynamic + 4 reference) + one per tracer,
+    // each framed as int64 meta[4] = {ex, ey, ez, halo} then the full
+    // padded payload then the checksum word.
+    const std::uint32_t n_arrays = 10 + n_tracers;
+    for (std::uint32_t a = 0; a < n_arrays; ++a) {
+        std::int64_t meta[4];
+        if (!c.take(meta, sizeof(meta), "array header")) return fail(c.why);
+        if (meta[0] < 1 || meta[1] < 1 || meta[2] < 1 || meta[3] < 0 ||
+            meta[3] > 8) {
+            return fail("implausible array shape in section " +
+                        std::to_string(a));
+        }
+        const std::uint64_t count =
+            static_cast<std::uint64_t>(meta[0] + 2 * meta[3]) *
+            static_cast<std::uint64_t>(meta[1] + 2 * meta[3]) *
+            static_cast<std::uint64_t>(meta[2] + 2 * meta[3]);
+        if (count * elem_size > c.left) return fail("truncated (array data)");
+        if (!c.section(static_cast<std::size_t>(count * elem_size),
+                       "field array")) {
+            return fail(c.why);
+        }
+    }
+
+    // Side-state section: count, then (name, tag, payload+checksum) each.
+    std::uint32_t n_side = 0;
+    if (!c.take(&n_side, sizeof(n_side), "side-state count")) {
+        return fail(c.why);
+    }
+    for (std::uint32_t e = 0; e < n_side; ++e) {
+        std::uint32_t len = 0;
+        if (!c.take(&len, sizeof(len), "side-state name")) return fail(c.why);
+        if (len > 4096 || len > c.left) {
+            return fail("implausible side-state name length");
+        }
+        c.p += len;
+        c.left -= len;
+        std::uint8_t tag = 0xff;
+        if (!c.take(&tag, sizeof(tag), "side-state tag")) return fail(c.why);
+        if (tag == detail::kTagScalar) {
+            if (!c.section(sizeof(double), "side-state scalar")) {
+                return fail(c.why);
+            }
+        } else if (tag == detail::kTagArray2) {
+            std::int64_t meta[3];
+            if (!c.take(meta, sizeof(meta), "side-state array header")) {
+                return fail(c.why);
+            }
+            if (meta[0] < 1 || meta[1] < 1 || meta[2] < 0 || meta[2] > 8) {
+                return fail("implausible side-state array shape");
+            }
+            const std::uint64_t count =
+                static_cast<std::uint64_t>(meta[0] + 2 * meta[2]) *
+                static_cast<std::uint64_t>(meta[1] + 2 * meta[2]);
+            if (count * sizeof(double) > c.left) {
+                return fail("truncated (side-state data)");
+            }
+            if (!c.section(static_cast<std::size_t>(count * sizeof(double)),
+                           "side-state array")) {
+                return fail(c.why);
+            }
+        } else {
+            return fail("unknown side-state tag " + std::to_string(tag));
+        }
+    }
+    if (c.left != 0) {
+        return fail(std::to_string(c.left) + " trailing bytes after the "
+                                             "side-state section");
+    }
+    return true;
+}
+
+}  // namespace asuca::io

@@ -51,6 +51,11 @@ enum class FaultKind {
     HaloDelay,    ///< delay the rank's next halo post by `delay`
     RankStall,    ///< sleep the rank's worker for `delay` at step start
     RankKill,     ///< throw from the rank's worker at step start
+    // Server-level kinds (ForecastServer's own injector; `rank` names a
+    // worker slot and `step` counts that worker's popped jobs / durable
+    // warm-start resolutions — see forecast_server.hpp):
+    WorkerPoison,      ///< worker throws instead of executing its job
+    CheckpointCorrupt, ///< damage the newest durable epoch before a load
 };
 
 inline const char* fault_kind_name(FaultKind k) {
@@ -62,6 +67,8 @@ inline const char* fault_kind_name(FaultKind k) {
         case FaultKind::HaloDelay: return "halo_delay";
         case FaultKind::RankStall: return "rank_stall";
         case FaultKind::RankKill: return "rank_kill";
+        case FaultKind::WorkerPoison: return "worker_poison";
+        case FaultKind::CheckpointCorrupt: return "checkpoint_corrupt";
     }
     return "unknown";
 }
@@ -87,6 +94,21 @@ class InjectedFaultError : public Error {
           rank(rank_idx), step(step_idx) {}
     Index rank;
     long long step;
+};
+
+/// Thrown by a WorkerPoison fault from inside the poisoned server
+/// worker, in place of executing the popped request — models a worker
+/// slot whose process/runtime has gone bad (stuck allocator, wedged
+/// accelerator context) rather than a fault inside the model run. The
+/// server's retry ladder quarantines the slot and re-dispatches.
+class WorkerPoisonError : public Error {
+  public:
+    WorkerPoisonError(Index worker_idx, long long job_idx)
+        : Error("injected poison: worker " + std::to_string(worker_idx) +
+                " poisoned at job " + std::to_string(job_idx)),
+          worker(worker_idx), job(job_idx) {}
+    Index worker;
+    long long job;
 };
 
 class FaultInjector {
@@ -134,6 +156,21 @@ class FaultInjector {
         if (const Fault* f = take(FaultKind::HaloDelay, rank, step))
             return f->delay;
         return std::chrono::nanoseconds{0};
+    }
+
+    // --- server-level hooks (ForecastServer's injector; unlike the
+    // --- per-rank contract above, the SERVER serializes access) -------
+
+    /// True when worker `worker` must fail its `job`-th popped request
+    /// with WorkerPoisonError instead of executing it.
+    bool poison_worker(Index worker, long long job) {
+        return take(FaultKind::WorkerPoison, worker, job) != nullptr;
+    }
+
+    /// True when the `n`-th durable warm-start resolution must find its
+    /// newest on-disk epoch damaged (store-level fault; plans use rank 0).
+    bool corrupt_checkpoint(long long n) {
+        return take(FaultKind::CheckpointCorrupt, 0, n) != nullptr;
     }
 
     // --- driver-thread hook (after the step's workers joined) ---------

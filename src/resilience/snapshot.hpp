@@ -30,7 +30,12 @@
 //   * Incremental: the time-invariant reference fields (rho_ref, p_ref,
 //     rhotheta_ref, cs2) are copied ONCE per configuration and only
 //     restored thereafter — per-field dirty tracking degenerates to
-//     "dynamic fields every round, static fields never again".
+//     "dynamic fields every round, static fields never again". On top
+//     of that, configure(..., incremental=true) turns on j-slab dirty
+//     tracking inside each dynamic-field copy: a capture memcmp's each
+//     contiguous j row against the destination buffer and copies only
+//     the rows that changed since that buffer last held them (see
+//     RankFieldCopy). Full copies remain the tested fallback.
 //
 // The restored bytes are identical to what the old synchronous
 // serialization restored: the same full padded arrays, minus the stream
@@ -84,9 +89,24 @@ void for_each_static_field(StateT& s, F&& f) {
 
 /// Raw copies of one rank's dynamic fields. Buffers are sized on first
 /// capture and reused; the steady state allocates nothing.
+///
+/// Incremental mode tracks dirty regions at j-slab granularity: j is the
+/// OUTERMOST axis in both storage layouts (layout.hpp — sy is the
+/// largest stride in ZXY and XZY alike), so one j-slab is one contiguous
+/// chunk of size()/padded_y elements in the flat buffer. A capture
+/// memcmp's each slab against the destination buffer and copies only the
+/// slabs that changed — correct under ANY buffer staleness (double
+/// buffering, missed rounds) because the comparison target IS the
+/// destination: equal means the buffer already holds the source bytes,
+/// different means they get copied now. The returned byte count is the
+/// bytes actually copied (what resilience.snapshot_bytes reports); a
+/// localized update copies only the rows it touched. First capture into
+/// a fresh buffer is always a full copy.
 template <class T>
 class RankFieldCopy {
   public:
+    void set_incremental(bool on) { incremental_ = on; }
+
     /// Returns the number of bytes copied.
     std::size_t capture_dynamic(const State<T>& s) {
         std::size_t idx = 0, bytes = 0;
@@ -122,9 +142,29 @@ class RankFieldCopy {
     std::size_t copy_in(std::size_t idx, const Array3<T>& a) {
         if (idx >= bufs_.size()) bufs_.resize(idx + 1);
         auto& buf = bufs_[idx];
+        const bool fresh = buf.size() != a.size();
         buf.resize(a.size());
-        std::memcpy(buf.data(), a.data(), a.size() * sizeof(T));
-        return a.size() * sizeof(T);
+        if (!incremental_ || fresh) {
+            std::memcpy(buf.data(), a.data(), a.size() * sizeof(T));
+            return a.size() * sizeof(T);
+        }
+        // One contiguous chunk per padded j row (j is outermost in both
+        // layouts); compare-then-copy each against the destination.
+        const auto rows =
+            static_cast<std::size_t>(a.padded_extents().y);
+        const std::size_t chunk = a.size() / rows;
+        const std::size_t chunk_bytes = chunk * sizeof(T);
+        std::size_t bytes = 0;
+        const T* src = a.data();
+        T* dst = buf.data();
+        for (std::size_t r = 0; r < rows; ++r) {
+            const std::size_t at = r * chunk;
+            if (std::memcmp(dst + at, src + at, chunk_bytes) != 0) {
+                std::memcpy(dst + at, src + at, chunk_bytes);
+                bytes += chunk_bytes;
+            }
+        }
+        return bytes;
     }
 
     void copy_out(std::size_t idx, Array3<T>& a) const {
@@ -134,6 +174,7 @@ class RankFieldCopy {
     }
 
     std::vector<std::vector<T>> bufs_;
+    bool incremental_ = false;
 };
 
 /// Double-buffered, claim-coordinated asynchronous snapshot store for a
@@ -154,8 +195,11 @@ class AsyncSnapshotter {
 
     /// `async_source(r)` must yield rank r's copy source for background
     /// rounds (the stage workspace); it is read from the snapshot thread
-    /// and from rank threads.
-    void configure(Index ranks, Source async_source) {
+    /// and from rank threads. `incremental` turns on j-slab dirty
+    /// tracking in the per-rank copies (see RankFieldCopy); off means
+    /// the tested fallback of full copies every round.
+    void configure(Index ranks, Source async_source,
+                   bool incremental = false) {
         ASUCA_REQUIRE(ranks >= 1, "snapshotter needs at least one rank");
         stop_worker();
         nranks_ = ranks;
@@ -165,11 +209,13 @@ class AsyncSnapshotter {
         for (Index r = 0; r < ranks; ++r) claims_[r] = kIdle;
         for (auto& side : bufs_) {
             side.assign(static_cast<std::size_t>(ranks), RankFieldCopy<T>{});
+            for (auto& copy : side) copy.set_incremental(incremental);
         }
         statics_.assign(static_cast<std::size_t>(ranks), RankFieldCopy<T>{});
         statics_valid_ = false;
         valid_ = false;
         round_active_ = false;
+        last_round_bytes_ = 0;
     }
 
     bool configured() const { return nranks_ > 0; }
@@ -177,6 +223,10 @@ class AsyncSnapshotter {
     bool in_flight() const { return round_active_; }
     long long step() const { return committed_step_; }
     double mass() const { return committed_mass_; }
+    /// Bytes actually copied by the most recently promoted round (a
+    /// localized-update round copies only its dirty j-slabs when
+    /// incremental tracking is on).
+    std::size_t last_round_bytes() const { return last_round_bytes_; }
 
     /// Drop every snapshot (and the statics) — the rank states are about
     /// to be replaced wholesale (scatter, checkpoint load).
@@ -206,6 +256,7 @@ class AsyncSnapshotter {
         committed_step_ = step;
         committed_mass_ = mass;
         valid_ = true;
+        last_round_bytes_ = bytes;
         count_bytes(bytes);
     }
 
@@ -276,7 +327,8 @@ class AsyncSnapshotter {
         committed_step_ = staging_step_;
         committed_mass_ = staging_mass_;
         valid_ = true;
-        count_bytes(round_bytes_.load(std::memory_order_relaxed));
+        last_round_bytes_ = round_bytes_.load(std::memory_order_relaxed);
+        count_bytes(last_round_bytes_);
         if (obs::metrics_enabled()) {
             static auto& overlap = obs::MetricsRegistry::global().histogram(
                 "resilience.snapshot_overlap_us");
@@ -371,6 +423,7 @@ class AsyncSnapshotter {
     bool statics_valid_ = false;
     int committed_ = 0;  ///< which side of bufs_ is restorable
     bool valid_ = false;
+    std::size_t last_round_bytes_ = 0;
     long long committed_step_ = 0;
     double committed_mass_ = 0.0;
     // Active round (staging side = committed_ ^ 1).

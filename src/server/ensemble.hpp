@@ -35,28 +35,36 @@ namespace asuca::server {
 /// Named in-memory checkpoint blobs (v3 stream format). Blobs are
 /// immutable shared strings, so concurrent member loads read the same
 /// bytes without copies or locking beyond the map lookup.
+///
+/// put/get/contains/size are virtual: DurableCheckpointStore
+/// (checkpoint_store.hpp) overrides them to spill blobs to disk with
+/// epoch retention while keeping this class's exact in-memory semantics
+/// as the default. capture() is a non-virtual template that serializes
+/// through the virtual put(), so durable stores persist captures too.
 class CheckpointStore {
   public:
     using Blob = std::shared_ptr<const std::string>;
 
-    void put(const std::string& name, std::string blob) {
+    virtual ~CheckpointStore() = default;
+
+    virtual void put(const std::string& name, std::string blob) {
         auto shared = std::make_shared<const std::string>(std::move(blob));
         std::lock_guard lock(mutex_);
         blobs_[name] = std::move(shared);
     }
 
     /// nullptr when the name is unknown.
-    Blob get(const std::string& name) const {
+    virtual Blob get(const std::string& name) const {
         std::lock_guard lock(mutex_);
         const auto it = blobs_.find(name);
         return it == blobs_.end() ? nullptr : it->second;
     }
 
-    bool contains(const std::string& name) const {
+    virtual bool contains(const std::string& name) const {
         return get(name) != nullptr;
     }
 
-    std::size_t size() const {
+    virtual std::size_t size() const {
         std::lock_guard lock(mutex_);
         return blobs_.size();
     }
@@ -186,10 +194,36 @@ inline ForecastResult run_forecast(const ScenarioSpec& spec,
         } else if (spec.overlap == "pipeline") {
             md.overlap = cluster::OverlapMode::SplitPipeline;
         }
+        if (!spec.inject.empty()) {
+            // Injection arms the resilience policy with a rollback point
+            // after every committed step. "halo" and "nan" are transient
+            // (recovered inside advance(), bitwise equal to the clean
+            // run); "stall" blows the halo deadline and is FATAL to this
+            // attempt — the server's retry ladder owns recovering it.
+            md.resilience.enabled = true;
+            md.resilience.checkpoint_interval = 1;
+            resilience::Fault f;
+            f.rank = 1;
+            f.step = spec.steps > 1 ? 1 : 0;
+            if (spec.inject == "halo") {
+                f.kind = resilience::FaultKind::HaloCorrupt;
+            } else if (spec.inject == "nan") {
+                f.kind = resilience::FaultKind::FieldNaN;
+                f.var = VarId::RhoTheta;
+                f.i = 1;
+                f.j = 1;
+                f.k = 1;
+            } else {  // stall: unresponsive past the halo deadline
+                f.kind = resilience::FaultKind::RankStall;
+                f.delay = std::chrono::milliseconds(400);
+                md.resilience.halo_deadline = std::chrono::milliseconds(100);
+            }
+            md.resilience.faults.push_back(f);
+        }
         cluster::MultiDomainRunner<double> runner(
             cfg.grid, spec.px, spec.py, cfg.species, cfg.stepper, md);
         runner.scatter(seed_model.state());
-        for (int n = 0; n < spec.steps; ++n) runner.step();
+        runner.advance(spec.steps);
         auto out = std::make_shared<State<double>>(seed_model.grid(),
                                                    cfg.species);
         *out = seed_model.state();  // halo frame before the interior gather

@@ -31,10 +31,27 @@
 //     perturbed member requests that schedule independently (concurrent
 //     across workers), each bitwise identical to running that member
 //     serially in isolation.
+//   * Fault tolerance (the retry ladder): a fatal runner verdict
+//     (cluster::FatalFaultError, carrying the halo layer's suspect-rank
+//     attribution) or an injected WorkerPoison QUARANTINES the worker
+//     slot that ran the request — the slot stops popping jobs, the
+//     server.capacity gauge drops, and the slot probes itself with a
+//     tiny canary forecast until a clean, fingerprint-matching run
+//     REINSTATES it. The failed request is re-dispatched to healthy
+//     workers (front-requeued past admission backpressure) with bounded
+//     exponential backoff, a bounded attempt count, and an optional
+//     per-request deadline budget; warm starts re-resolve from the
+//     durable store's newest VERIFIED epoch, so a corrupted checkpoint
+//     falls back to the previous epoch instead of failing the request.
+//   * Durability: store_dir switches the checkpoint store to a
+//     DurableCheckpointStore (crash-safe atomic spills, checksum-
+//     verified reloads, epoch retention, LRU RAM cache); empty keeps
+//     the in-memory store.
 //   * Observability: per-request TraceSpans ("server" category) and
 //     server.* metrics (requests, completed, deduped, degraded, shed,
-//     failed, queue_depth gauge, latency_us histogram) through the
-//     existing TraceRecorder / MetricsRegistry.
+//     failed, retries, quarantine/reinstate, capacity gauge,
+//     queue_depth gauge, latency_us histogram) through the existing
+//     TraceRecorder / MetricsRegistry.
 //
 // Bitwise guarantee: a request's bits depend only on its canonical spec
 // (and the referenced checkpoint blob) — never on which worker ran it,
@@ -45,6 +62,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -58,6 +76,8 @@
 #include "src/observability/metrics.hpp"
 #include "src/observability/trace.hpp"
 #include "src/parallel/thread_pool.hpp"
+#include "src/resilience/fault_injector.hpp"
+#include "src/server/checkpoint_store.hpp"
 #include "src/server/ensemble.hpp"
 #include "src/server/request_queue.hpp"
 #include "src/server/scenario.hpp"
@@ -77,6 +97,26 @@ struct ServerConfig {
     bool shed_when_full = false;
     /// Serve repeated canonical keys from the completed-request cache.
     bool cache_results = true;
+    /// Durable checkpoint spill directory. Empty keeps the in-memory
+    /// store; non-empty constructs a DurableCheckpointStore there
+    /// (atomic writes, verified reloads, epoch retention, LRU cache).
+    std::string store_dir;
+    std::size_t store_ram_entries = 8;  ///< durable store's LRU capacity
+    int store_keep_epochs = 2;          ///< durable epochs kept per name
+    /// Retry ladder: re-dispatches tolerated per request after a fatal
+    /// worker/runner fault before the request fails for the client.
+    int max_request_retries = 2;
+    /// Base of the bounded exponential backoff before a re-dispatch
+    /// (doubles per attempt, capped at 8x).
+    std::chrono::milliseconds retry_backoff{5};
+    /// Per-request deadline budget from admission; retries stop when it
+    /// is spent. Zero means no deadline.
+    std::chrono::milliseconds request_deadline{0};
+    /// Pause between canary probes of a quarantined worker slot.
+    std::chrono::milliseconds canary_backoff{20};
+    /// Server-level injected faults (WorkerPoison / CheckpointCorrupt)
+    /// for tests and chaos gates; empty in production.
+    resilience::FaultPlan faults;
 };
 
 struct ServerStats {
@@ -86,6 +126,9 @@ struct ServerStats {
     std::uint64_t dedup_hits = 0;  ///< submissions served by another entry
     std::uint64_t degraded = 0;    ///< admissions rewritten by the ladder
     std::uint64_t shed = 0;        ///< rejected (shed_when_full only)
+    std::uint64_t retried = 0;     ///< re-dispatches by the retry ladder
+    std::uint64_t quarantined = 0; ///< worker-slot quarantine events
+    std::uint64_t reinstated = 0;  ///< quarantined slots reinstated
 };
 
 class ForecastServer;
@@ -97,6 +140,10 @@ struct Entry {
     ScenarioSpec spec;  ///< canonical, post-degradation
     std::string key;
     int degrade_level = 0;
+    /// Retry-ladder state. Touched only by the worker currently holding
+    /// the job (the queue's mutex orders the handoff between workers).
+    int attempts = 0;
+    std::chrono::steady_clock::time_point deadline{};  ///< zero = none
 
     std::mutex mutex;
     std::condition_variable cv;
@@ -163,8 +210,22 @@ class ForecastHandle {
 class ForecastServer {
   public:
     explicit ForecastServer(const ServerConfig& config = {})
-        : cfg_(config), queue_(config.queue_capacity) {
+        : cfg_(config), queue_(config.queue_capacity),
+          injector_(config.faults) {
         ASUCA_REQUIRE(cfg_.n_workers >= 1, "server needs >= 1 worker");
+        ASUCA_REQUIRE(cfg_.max_request_retries >= 0, "bad retry budget");
+        if (cfg_.store_dir.empty()) {
+            store_ = std::make_unique<CheckpointStore>();
+        } else {
+            store_ = std::make_unique<DurableCheckpointStore>(
+                DurableStoreConfig{cfg_.store_dir, cfg_.store_ram_entries,
+                                   cfg_.store_keep_epochs});
+        }
+        quarantined_ = std::make_unique<std::atomic<bool>[]>(cfg_.n_workers);
+        for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
+            quarantined_[w] = false;
+        }
+        set_capacity_gauge();
         pools_.reserve(cfg_.n_workers);
         for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
             pools_.push_back(std::make_unique<ThreadPool>(
@@ -182,8 +243,16 @@ class ForecastServer {
     ForecastServer& operator=(const ForecastServer&) = delete;
 
     const ServerConfig& config() const { return cfg_; }
-    CheckpointStore& checkpoints() { return checkpoints_; }
+    CheckpointStore& checkpoints() { return *store_; }
+    /// The durable store when store_dir was set, nullptr otherwise.
+    DurableCheckpointStore* durable_store() {
+        return dynamic_cast<DurableCheckpointStore*>(store_.get());
+    }
     std::size_t queue_depth() const { return queue_.size(); }
+    bool worker_quarantined(std::size_t w) const {
+        ASUCA_REQUIRE(w < cfg_.n_workers, "bad worker index " << w);
+        return quarantined_[w].load(std::memory_order_acquire);
+    }
 
     /// Submit one request. Never blocks on execution — returns a handle
     /// immediately (after any backpressure wait for a queue slot).
@@ -208,6 +277,10 @@ class ForecastServer {
             entry->spec = exec;
             entry->key = key;
             entry->degrade_level = level;
+            if (cfg_.request_deadline.count() > 0) {
+                entry->deadline = std::chrono::steady_clock::now() +
+                                  cfg_.request_deadline;
+            }
             if (cfg_.cache_results) cache_[key] = entry;
         }
 
@@ -247,7 +320,7 @@ class ForecastServer {
     /// Fork a stored checkpoint into n_members perturbed member requests
     /// (scheduled concurrently; one handle per member, in member order).
     std::vector<ForecastHandle> submit_ensemble(const EnsembleRequest& req) {
-        ASUCA_REQUIRE(checkpoints_.contains(req.base.warm_start),
+        ASUCA_REQUIRE(store_->contains(req.base.warm_start),
                       "ensemble warm-start checkpoint '"
                           << req.base.warm_start << "' not in the store");
         std::vector<ForecastHandle> handles;
@@ -265,12 +338,24 @@ class ForecastServer {
     }
 
     /// Stop admissions, finish the backlog, join the workers. Idempotent;
-    /// also runs from the destructor.
+    /// also runs from the destructor. Entries the workers could not
+    /// drain (every surviving worker quarantined at close) are completed
+    /// with a shutdown error — no waiter is left hanging.
     void shutdown() {
         bool expected = false;
         if (!stopped_.compare_exchange_strong(expected, true)) return;
         queue_.close();
         for (auto& th : workers_) th.join();
+        for (auto& job : queue_.poison()) {
+            ForecastResult res;
+            res.executed = job->spec;
+            res.degrade_level = job->degrade_level;
+            res.error = "server is shut down";
+            failed_.fetch_add(1, std::memory_order_relaxed);
+            count("server.failed");
+            forget(job->key);
+            job->complete(std::move(res));
+        }
     }
 
     ServerStats stats() const {
@@ -281,6 +366,9 @@ class ForecastServer {
         s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
         s.degraded = degraded_.load(std::memory_order_relaxed);
         s.shed = shed_.load(std::memory_order_relaxed);
+        s.retried = retried_.load(std::memory_order_relaxed);
+        s.quarantined = quarantined_count_.load(std::memory_order_relaxed);
+        s.reinstated = reinstated_.load(std::memory_order_relaxed);
         return s;
     }
 
@@ -309,10 +397,136 @@ class ForecastServer {
         cache_.erase(key);  // a shed/failed key must stay retryable
     }
 
+    /// Resolve a warm-start blob, running any injected store-level fault
+    /// first (damage the newest durable epoch, evict the RAM cache) so
+    /// the verified-reload fallback is exercised on the REAL read path.
+    CheckpointStore::Blob resolve_warm(const ScenarioSpec& spec) {
+        if (spec.warm_start.empty()) return nullptr;
+        if (injector_.enabled()) {
+            std::lock_guard lock(injector_mutex_);
+            const long long n = warm_resolutions_++;
+            if (injector_.corrupt_checkpoint(n)) {
+                if (auto* d =
+                        dynamic_cast<DurableCheckpointStore*>(store_.get())) {
+                    d->corrupt_latest_epoch(spec.warm_start);
+                    d->drop_ram(spec.warm_start);
+                    obs::trace_instant("inject_checkpoint_corrupt",
+                                       "server");
+                }
+            }
+        }
+        CheckpointStore::Blob blob = store_->get(spec.warm_start);
+        ASUCA_REQUIRE(blob != nullptr, "warm-start checkpoint '"
+                                           << spec.warm_start
+                                           << "' not in the store");
+        return blob;
+    }
+
+    void set_capacity_gauge() {
+        if (!obs::metrics_enabled()) return;
+        std::size_t healthy = 0;
+        for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
+            healthy += quarantined_[w].load(std::memory_order_relaxed) ? 0
+                                                                       : 1;
+        }
+        obs::MetricsRegistry::global()
+            .gauge("server.capacity")
+            .set(static_cast<double>(healthy));
+    }
+
+    void quarantine(std::size_t w, const std::string& why) {
+        quarantined_[w].store(true, std::memory_order_release);
+        quarantined_count_.fetch_add(1, std::memory_order_relaxed);
+        count("server.quarantine");
+        set_capacity_gauge();
+        obs::trace_instant("quarantine", static_cast<Index>(w), "server");
+        (void)why;
+    }
+
+    /// The fixed probe a quarantined slot must complete cleanly (with
+    /// the fingerprint every healthy execution produces) before it pops
+    /// real work again.
+    static ScenarioSpec canary_spec() {
+        ScenarioSpec s;
+        s.scenario = "warm_bubble";
+        s.nx = 8;
+        s.ny = 8;
+        s.nz = 6;
+        s.steps = 1;
+        return canonicalize(s);
+    }
+
+    /// One probe-and-reinstate attempt for quarantined worker `w`.
+    /// Returns false when the queue closed (the worker should exit).
+    bool canary_probe(std::size_t w) {
+        if (queue_.closed()) return false;
+        std::this_thread::sleep_for(cfg_.canary_backoff);
+        // The expected canary fingerprint, computed once on demand. The
+        // injection model poisons a slot by THROWING, never by silent
+        // wrong numerics, so first-computation-by-a-quarantined-slot is
+        // sound — and any later mismatch still fails the probe.
+        static const std::uint64_t expected = [] {
+            return run_forecast(canary_spec(), nullptr, false).fingerprint;
+        }();
+        bool clean = false;
+        try {
+            ThreadPool::ScopedOverride pool_guard(*pools_[w]);
+            obs::TraceSpan span("canary_probe", static_cast<long long>(w),
+                                "server");
+            const ForecastResult probe =
+                run_forecast(canary_spec(), nullptr, false);
+            clean = probe.ok() && probe.fingerprint == expected;
+        } catch (const std::exception&) {
+            clean = false;
+        }
+        if (clean) {
+            quarantined_[w].store(false, std::memory_order_release);
+            reinstated_.fetch_add(1, std::memory_order_relaxed);
+            count("server.reinstate");
+            set_capacity_gauge();
+            obs::trace_instant("reinstate", static_cast<Index>(w),
+                               "server");
+        }
+        return true;
+    }
+
+    /// Decide and execute a re-dispatch of a job whose attempt just hit
+    /// a fatal fault. True when the job went back on the queue (front-
+    /// requeued past backpressure, after bounded exponential backoff);
+    /// false when its retry/deadline budget is spent or the queue is
+    /// closed — the caller then fails the request for the client.
+    bool try_retry(const std::shared_ptr<detail::Entry>& job) {
+        job->attempts += 1;
+        if (job->attempts > cfg_.max_request_retries) return false;
+        if (job->deadline.time_since_epoch().count() != 0 &&
+            std::chrono::steady_clock::now() >= job->deadline) {
+            return false;
+        }
+        // Injected run faults model first-attempt hazards: a fresh
+        // runner would re-arm spec.inject every attempt and never
+        // converge, so the re-dispatch runs the clean product. (The
+        // entry and its key are unchanged — every attached waiter gets
+        // the result.)
+        job->spec.inject.clear();
+        const int shift = std::min(job->attempts - 1, 3);
+        std::this_thread::sleep_for(cfg_.retry_backoff * (1 << shift));
+        retried_.fetch_add(1, std::memory_order_relaxed);
+        count("server.retries");
+        return queue_.requeue(job);
+    }
+
     void worker_loop(std::size_t w) {
         obs::name_this_thread("forecast worker " + std::to_string(w));
+        long long jobs_popped = 0;
         std::shared_ptr<detail::Entry> job;
-        while (queue_.pop(job)) {
+        while (true) {
+            // A quarantined slot stops serving: it probes itself until
+            // a clean canary reinstates it (or the queue closes).
+            if (quarantined_[w].load(std::memory_order_acquire)) {
+                if (!canary_probe(w)) break;
+                continue;
+            }
+            if (!queue_.pop(job)) break;
             // Route this execution's j-slab loops to the worker's own
             // pool (inline when single-threaded): concurrent requests
             // share machine capacity without sharing a run_region.
@@ -324,21 +538,53 @@ class ForecastServer {
                     .gauge("server.queue_depth")
                     .set(static_cast<double>(queue_.size()));
             }
+            const long long job_idx = jobs_popped++;
             ForecastResult res;
+            bool fatal_fault = false;   // quarantine + ladder
+            std::string fault_what;
             try {
-                CheckpointStore::Blob blob;
-                if (!job->spec.warm_start.empty()) {
-                    blob = checkpoints_.get(job->spec.warm_start);
-                    ASUCA_REQUIRE(blob != nullptr,
-                                  "warm-start checkpoint '"
-                                      << job->spec.warm_start
-                                      << "' not in the store");
+                if (injector_.enabled()) {
+                    std::lock_guard lock(injector_mutex_);
+                    if (injector_.poison_worker(static_cast<Index>(w),
+                                                job_idx)) {
+                        throw resilience::WorkerPoisonError(
+                            static_cast<Index>(w), job_idx);
+                    }
                 }
-                res = run_forecast(job->spec, blob, cfg_.keep_state);
+                res = run_forecast(job->spec, resolve_warm(job->spec),
+                                   cfg_.keep_state);
+            } catch (const resilience::WorkerPoisonError& e) {
+                fatal_fault = true;
+                fault_what = e.what();
+            } catch (const cluster::FatalFaultError& e) {
+                // The runner's verdict with suspect-rank attribution:
+                // the implicated worker slot is the one that ran it.
+                fatal_fault = true;
+                fault_what = e.what();
+                if (obs::metrics_enabled()) {
+                    for (const Index r : e.suspect_ranks) {
+                        (void)r;
+                        obs::MetricsRegistry::global()
+                            .counter("server.suspect_ranks")
+                            .add();
+                    }
+                }
             } catch (const std::exception& e) {
+                // Ordinary request failure (bad spec, missing blob):
+                // the client's problem, not the worker's — no ladder.
                 res = ForecastResult{};
                 res.executed = job->spec;
                 res.error = e.what();
+            }
+            if (fatal_fault) {
+                quarantine(w, fault_what);
+                if (try_retry(job)) {
+                    job.reset();
+                    continue;  // re-dispatched; this slot goes to canary
+                }
+                res = ForecastResult{};
+                res.executed = job->spec;
+                res.error = "fatal fault, retries exhausted: " + fault_what;
             }
             res.degrade_level = job->degrade_level;
             if (res.ok()) {
@@ -361,7 +607,11 @@ class ForecastServer {
 
     ServerConfig cfg_;
     RequestQueue<std::shared_ptr<detail::Entry>> queue_;
-    CheckpointStore checkpoints_;
+    std::unique_ptr<CheckpointStore> store_;
+    resilience::FaultInjector injector_;
+    std::mutex injector_mutex_;  ///< unlike rank hooks, workers race here
+    long long warm_resolutions_ = 0;  ///< guarded by injector_mutex_
+    std::unique_ptr<std::atomic<bool>[]> quarantined_;
     std::vector<std::unique_ptr<ThreadPool>> pools_;
     std::vector<std::thread> workers_;
 
@@ -374,6 +624,9 @@ class ForecastServer {
     std::atomic<std::uint64_t> dedup_hits_{0};
     std::atomic<std::uint64_t> degraded_{0};
     std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> retried_{0};
+    std::atomic<std::uint64_t> quarantined_count_{0};
+    std::atomic<std::uint64_t> reinstated_{0};
     std::atomic<bool> stopped_{false};
 };
 

@@ -10,12 +10,25 @@
 //
 // Semantics (specified first in tests/test_server.cpp, suite ServerQueue):
 //   * FIFO per queue — pop order equals push order;
-//   * push() blocks while full, returns false only on a closed queue;
+//   * push() blocks while full, returns false only on a closed queue —
+//     including when close() arrives WHILE the push is blocked: the
+//     waiter wakes, rejects cleanly, and never enqueues (negative-path
+//     tests ServerQueue.CloseWakesBlockedPush*);
 //   * try_push() never blocks, returns false when full or closed;
+//   * requeue() front-enqueues BYPASSING the capacity bound and never
+//     blocks — the retry ladder's path back into the queue: a worker
+//     re-dispatching a failed request must not deadlock against
+//     admission backpressure, and a retried request (already aged by its
+//     failed attempt) goes to the head so backlog does not consume its
+//     deadline budget;
 //   * pop() blocks while empty, returns false only when the queue is
 //     closed AND drained — close() lets consumers finish the backlog;
 //   * close() is idempotent and releases every blocked producer and
-//     consumer.
+//     consumer;
+//   * poison() is close() WITHOUT the drain: the backlog is discarded
+//     and returned to the caller (who owns completing the orphaned
+//     entries), consumers stop immediately — the emergency stop for a
+//     server whose every worker is quarantined.
 //
 // Thread-safety: all operations take the one mutex; the queue holds jobs
 // (small structs / shared_ptrs), never does work under the lock, and the
@@ -81,6 +94,20 @@ class RequestQueue {
         return true;
     }
 
+    /// Non-blocking FRONT enqueue that ignores the capacity bound: the
+    /// retry path for a request a worker already holds. Never blocks
+    /// (a worker blocking on its own queue's admission is a deadlock);
+    /// false only when the queue is closed.
+    bool requeue(T item) {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_) return false;
+            items_.push_front(std::move(item));
+        }
+        cv_not_empty_.notify_one();
+        return true;
+    }
+
     /// Blocking dequeue into `out`. Waits while empty; returns false only
     /// when the queue is closed and fully drained.
     bool pop(T& out) {
@@ -103,6 +130,23 @@ class RequestQueue {
         }
         cv_not_empty_.notify_all();
         cv_not_full_.notify_all();
+    }
+
+    /// Emergency stop: close AND discard the backlog. The undrained
+    /// items are returned so the caller can complete/fail them — a
+    /// poisoned queue must not silently orphan waiters attached to the
+    /// discarded entries. Blocked producers wake with false exactly as
+    /// for close(); consumers stop immediately (nothing left to drain).
+    std::deque<T> poison() {
+        std::deque<T> orphans;
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+            orphans.swap(items_);
+        }
+        cv_not_empty_.notify_all();
+        cv_not_full_.notify_all();
+        return orphans;
     }
 
   private:

@@ -55,6 +55,17 @@ struct ScenarioSpec {
     /// Horizontal coarsening exponent (grid / 2^coarsen, dx * 2^coarsen);
     /// written by the degradation ladder, 0 for full resolution.
     int coarsen = 0;
+    /// Deterministic fault injection into the run (tests / chaos gates):
+    /// "" none | "halo" (transient halo-bit corruption, recovered by
+    /// rollback-and-replay) | "nan" (field NaN, caught by the watchdog
+    /// and rolled back) | "stall" (rank stall past the halo deadline —
+    /// FATAL to this attempt; the server's retry ladder recovers it).
+    /// Decomposed runs only; injection arms resilience on the runner.
+    /// A recovered injected run is bitwise identical to its clean run,
+    /// but the key still includes the field — detection/recovery work
+    /// executed, so it is an honest distinct product (and a fatal
+    /// "stall" product must never serve from the clean cache slot).
+    std::string inject;
 };
 
 inline constexpr int kMaxDegradeLevel = 2;
@@ -88,6 +99,16 @@ inline ScenarioSpec canonicalize(ScenarioSpec s) {
         ASUCA_REQUIRE(s.warm_start.empty(),
                       "decomposed requests do not support warm starts");
     }
+    ASUCA_REQUIRE(s.inject.empty() || s.inject == "halo" ||
+                      s.inject == "nan" || s.inject == "stall",
+                  "unknown injection '" << s.inject << "'");
+    if (!s.inject.empty()) {
+        ASUCA_REQUIRE(s.px * s.py > 1,
+                      "fault injection needs a decomposed run (px*py > 1)");
+        ASUCA_REQUIRE(s.inject == "nan" || s.overlap != "none",
+                      "'" << s.inject << "' injection needs halo channels "
+                          << "(overlap split|pipeline)");
+    }
     if (s.warm_start.empty() || s.perturb_amplitude == 0.0) {
         // No fork: the perturbation fields cannot influence the result.
         s.member = 0;
@@ -115,6 +136,7 @@ inline std::string canonical_key(const ScenarioSpec& s) {
     key += "|seed=" + std::to_string(s.perturb_seed);
     key += std::string("|amp=") + amp;
     key += "|coarsen=" + std::to_string(s.coarsen);
+    key += "|inject=" + s.inject;
     return key;
 }
 

@@ -113,6 +113,62 @@ TEST(ServerQueue, CloseReleasesWaitersAndDrainsBacklog) {
     q.close();                 // idempotent
 }
 
+TEST(ServerQueue, CloseWakesBlockedPushWithoutEnqueueing) {
+    // The negative path of push(): a producer blocked on a full queue at
+    // the moment close() lands must wake with a CLEAN rejection — false,
+    // and its item must never appear in the backlog (a half-enqueued
+    // item after "admissions stopped" would be a lost-or-duplicated job).
+    RequestQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::thread blocked([&] { EXPECT_FALSE(q.push(2)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    blocked.join();
+    int got = -1;
+    EXPECT_TRUE(q.pop(got));
+    EXPECT_EQ(got, 1);          // only the pre-close item drains
+    EXPECT_FALSE(q.pop(got));   // 2 was rejected, not enqueued
+}
+
+TEST(ServerQueue, PoisonReturnsBacklogAndReleasesEveryWaiter) {
+    RequestQueue<int> q(2);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    // One producer blocked on full, one consumer about to block on a
+    // queue poison() will empty before it can pop.
+    std::thread producer([&] { EXPECT_FALSE(q.push(3)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::deque<int> orphans = q.poison();
+    producer.join();
+    // Unlike close(), the backlog is NOT poppable — it came back to us.
+    ASSERT_EQ(orphans.size(), 2u);
+    EXPECT_EQ(orphans[0], 1);
+    EXPECT_EQ(orphans[1], 2);
+    int got = -1;
+    EXPECT_FALSE(q.pop(got));   // consumers stop immediately
+    EXPECT_FALSE(q.push(4));
+    std::thread consumer([&] {
+        int v = -1;
+        EXPECT_FALSE(q.pop(v));  // a late consumer is released too
+    });
+    consumer.join();
+}
+
+TEST(ServerQueue, RequeueFrontEnqueuesPastTheCapacityBound) {
+    RequestQueue<int> q(1);
+    ASSERT_TRUE(q.push(10));
+    EXPECT_FALSE(q.try_push(11));   // full: admission backpressure...
+    EXPECT_TRUE(q.requeue(12));     // ...but the retry path never blocks
+    EXPECT_EQ(q.size(), 2u);        // over capacity, by design
+    int got = -1;
+    EXPECT_TRUE(q.pop(got));
+    EXPECT_EQ(got, 12);             // retried job jumps the backlog
+    EXPECT_TRUE(q.pop(got));
+    EXPECT_EQ(got, 10);
+    q.close();
+    EXPECT_FALSE(q.requeue(13));    // closed is the only rejection
+}
+
 // ---------------------------------------------------------------------
 // Scenario canonicalization and cache keying.
 // ---------------------------------------------------------------------
@@ -235,7 +291,10 @@ TEST(ServerSubmit, UnknownWarmStartFailsCleanlyAndServerKeepsServing) {
     ForecastServer server;
     ScenarioSpec bad = small_spec();
     bad.warm_start = "no-such-analysis";
-    const ForecastResult& res = server.submit(bad).wait();
+    // Hold the handle: failed entries leave the result cache, so the
+    // handle alone keeps the result alive past wait().
+    const ForecastHandle bad_handle = server.submit(bad);
+    const ForecastResult& res = bad_handle.wait();
     EXPECT_FALSE(res.ok());
     EXPECT_NE(res.error.find("no-such-analysis"), std::string::npos);
     // The failure neither wedged a worker nor poisoned the cache.
