@@ -39,6 +39,14 @@ ScenarioSpec bench_spec(int salt) {
     return s;
 }
 
+/// Wrap a spec the way an out-of-process client's frame would arrive —
+/// callers speak the wire envelope API (wire.hpp).
+wire::ForecastRequestV1 envelope(const ScenarioSpec& spec) {
+    wire::ForecastRequestV1 req;
+    req.spec = spec;
+    return req;
+}
+
 struct PhaseResult {
     double offered_rps = 0.0;
     double achieved_rps = 0.0;
@@ -62,11 +70,16 @@ double percentile(std::vector<double> sorted, double p) {
 /// A non-empty fault plan arms the server's injector (WorkerPoison):
 /// the retry ladder must absorb the faults with zero dropped requests.
 PhaseResult run_phase(int workers, int n, double gap_ms,
-                      resilience::FaultPlan faults = {}) {
+                      resilience::FaultPlan faults = {},
+                      AdmissionPolicy admission =
+                          AdmissionPolicy::queue_depth) {
     ServerConfig cfg;
     cfg.n_workers = static_cast<std::size_t>(workers);
     cfg.queue_capacity = 4;      // small bound: overload hits the ladder
     cfg.cache_results = false;   // measure executions, not cache hits
+    // The historical phases stay on the depth watermarks so rows remain
+    // comparable across revisions; the A/B section flips this.
+    cfg.admission = admission;
     cfg.faults = std::move(faults);
     cfg.retry_backoff = std::chrono::milliseconds(1);
     cfg.canary_backoff = std::chrono::milliseconds(1);
@@ -79,7 +92,7 @@ PhaseResult run_phase(int workers, int n, double gap_ms,
     const auto t0 = Clock::now();
     for (int r = 0; r < n; ++r) {
         const auto submit_time = Clock::now();
-        ForecastHandle h = srv.submit(bench_spec(r));
+        ForecastHandle h = srv.submit(envelope(bench_spec(r)));
         waiters.emplace_back([&, r, h, submit_time] {
             const ForecastResult& res = h.wait();
             const auto done = Clock::now();
@@ -182,6 +195,44 @@ int main(int argc, char** argv) {
         phases_json.push_back(std::move(row));
     }
 
+    // Admission A/B: the same 2x overload offered to both policies. The
+    // depth watermarks degrade on a tuned constant; the calibrated
+    // estimator degrades only when MEASURED service times say the wait
+    // would blow admission_target_ms. Either way nothing may drop — the
+    // default queue blocks (backpressure), it never sheds.
+    io::JsonArray ab_json;
+    std::printf("\n  %-19s %10s %9s %9s %6s %9s %7s\n", "admission@2x",
+                "served/s", "p50", "p99", "full", "degraded", "dropped");
+    struct Ab {
+        const char* name;
+        AdmissionPolicy policy;
+    };
+    for (const Ab& ab :
+         {Ab{"queue_depth", AdmissionPolicy::queue_depth},
+          Ab{"latency_calibrated", AdmissionPolicy::latency_calibrated}}) {
+        const double gap_ms = cost_ms / workers / 2.0;
+        const PhaseResult r =
+            run_phase(workers, requests, gap_ms, {}, ab.policy);
+        const auto dropped =
+            (unsigned long long)(r.stats.shed + r.stats.failed);
+        std::printf("  %-19s %10.2f %7.1fms %7.1fms %6d %9d %7llu\n",
+                    ab.name, r.achieved_rps, r.p50_ms, r.p99_ms,
+                    r.completed_full, r.completed_degraded, dropped);
+        io::JsonValue row;
+        row.set("policy", ab.name);
+        row.set("offered_factor", 2.0);
+        row.set("achieved_rps", r.achieved_rps);
+        row.set("latency_p50_ms", r.p50_ms);
+        row.set("latency_p99_ms", r.p99_ms);
+        row.set("completed_full", r.completed_full);
+        row.set("completed_degraded", r.completed_degraded);
+        row.set("degraded", (long long)r.stats.degraded);
+        row.set("shed", (long long)r.stats.shed);
+        row.set("failed", (long long)r.stats.failed);
+        row.set("dropped", (long long)(r.stats.shed + r.stats.failed));
+        ab_json.push_back(std::move(row));
+    }
+
     bench::note("2x overload must show degraded > 0 and shed == 0: the");
     bench::note("ladder trades resolution for admission, never drops.");
     bench::note("1x+faults must show quarantined > 0 and dropped == 0:");
@@ -195,5 +246,6 @@ int main(int argc, char** argv) {
     doc.set("calibrated_request_ms", cost_ms);
     doc.set("capacity_rps", capacity_rps);
     doc.set("phases", std::move(phases_json));
+    doc.set("admission_ab", std::move(ab_json));
     return bench::write_json("BENCH_server.json", doc) ? 0 : 1;
 }

@@ -37,6 +37,14 @@
 using namespace asuca;
 using namespace asuca::server;
 
+/// Wrap a spec the way an out-of-process client's frame would arrive —
+/// callers speak the wire envelope API (wire.hpp).
+static wire::ForecastRequestV1 envelope(const ScenarioSpec& spec) {
+    wire::ForecastRequestV1 req;
+    req.spec = spec;
+    return req;
+}
+
 int main(int argc, char** argv) {
     int members = 6;
     int workers = 3;
@@ -111,8 +119,8 @@ int main(int argc, char** argv) {
     mw.ny = 16;
     mw.nz = 12;
     mw.steps = steps;
-    ForecastHandle first = srv.submit(mw);
-    ForecastHandle duplicate = srv.submit(mw);
+    ForecastHandle first = srv.submit(envelope(mw));
+    ForecastHandle duplicate = srv.submit(envelope(mw));
 
     // Fault drill: a decomposed request with a deterministic injected
     // fault, plus its clean twin run serially as the expected answer.
@@ -127,7 +135,7 @@ int main(int argc, char** argv) {
         inject_want =
             run_forecast(canonicalize(dec), nullptr, false).fingerprint;
         dec.inject = inject;
-        injected = srv.submit(dec);
+        injected = srv.submit(envelope(dec));
     }
 
     std::vector<ForecastHandle> flood;
@@ -135,7 +143,7 @@ int main(int argc, char** argv) {
         for (int n = 0; n < 12; ++n) {
             ScenarioSpec s = base;
             s.steps = 2 * steps + 2 * n;  // distinct products
-            flood.push_back(srv.submit(s));
+            flood.push_back(srv.submit(envelope(s)));
         }
     }
 

@@ -1,0 +1,232 @@
+// Out-of-process forecast service demo: the SocketServer front-end
+// speaking the wire API (newline-delimited JSON envelopes over loopback
+// TCP), with the in-process ForecastServer as the backend.
+//
+//   ./examples/forecast_service                 self-verifying smoke
+//   ./examples/forecast_service --serve [opts]  run until SIGTERM or a
+//                                               {"type":"shutdown"} frame
+//   ./examples/forecast_service --client --port=N [opts]
+//                                               one request round trip
+//
+// Options: --port=N (default 0 = ephemeral for --serve, required for
+// --client), --store=DIR (durable checkpoint + result spill), and
+// positional [nx ny nz steps] for the request the client/smoke sends.
+//
+// The default smoke mode is what CI runs: it boots a service on an
+// ephemeral port, proves the loopback answer is BITWISE identical to
+// running the same spec in-process (fingerprint equality), proves a
+// malformed frame comes back as a typed bad_request without consuming
+// any forecast capacity, shuts the service down over the wire, RESTARTS
+// it on the same store directory, and proves the repeat query is served
+// from the durable result cache (served_from == "durable") with the
+// identical fingerprint — no re-integration. Exit status is 0 only if
+// every check passes.
+#include <csignal>
+#include <filesystem>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "src/server/client.hpp"
+#include "src/server/socket_server.hpp"
+
+using namespace asuca;
+using namespace asuca::server;
+
+namespace {
+
+int g_sigpipe[2] = {-1, -1};
+
+void on_sigterm(int) {
+    const char byte = 1;
+    // write(2) is async-signal-safe; the watcher thread does the stop().
+    (void)!::write(g_sigpipe[1], &byte, 1);
+}
+
+ScenarioSpec make_spec(int nx, int ny, int nz, int steps) {
+    ScenarioSpec s;
+    s.scenario = "warm_bubble";
+    s.nx = nx;
+    s.ny = ny;
+    s.nz = nz;
+    s.steps = steps;
+    return s;
+}
+
+bool check(bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    return ok;
+}
+
+int run_serve(const SocketServerConfig& cfg) {
+    SocketServer server(cfg);
+    std::printf("forecast service listening on %s:%d\n", cfg.host.c_str(),
+                server.port());
+    // SIGTERM -> one byte down the self-pipe -> watcher calls stop();
+    // the same graceful drain a {"type":"shutdown"} frame triggers.
+    if (::pipe(g_sigpipe) != 0) return 1;
+    std::signal(SIGTERM, on_sigterm);
+    std::signal(SIGINT, on_sigterm);
+    std::thread watcher([&] {
+        char byte = 0;
+        if (::read(g_sigpipe[0], &byte, 1) > 0) server.stop();
+    });
+    server.wait();
+    // Unblock the watcher if the shutdown came over the wire.
+    const char byte = 0;
+    (void)!::write(g_sigpipe[1], &byte, 1);
+    watcher.join();
+    ::close(g_sigpipe[0]);
+    ::close(g_sigpipe[1]);
+    std::printf("forecast service drained; bye\n");
+    return 0;
+}
+
+int run_client(const std::string& host, int port,
+               const ScenarioSpec& spec) {
+    ForecastClient client(host, port);
+    wire::ForecastRequestV1 req;
+    req.spec = spec;
+    req.id = 1;
+    req.client = "forecast_service_example";
+    const wire::ForecastResponseV1 res = client.forecast(req);
+    if (!res.ok) {
+        std::printf("request failed: %s: %s\n",
+                    error_code_name(res.error.code),
+                    res.error.detail.c_str());
+        return 1;
+    }
+    std::printf("ok: fingerprint=%s steps=%lld level=%d served_from=%s "
+                "latency=%.1fms\n",
+                wire::detail::fingerprint_to_hex(res.fingerprint).c_str(),
+                res.steps_run, res.degrade_level, res.served_from.c_str(),
+                res.latency_ms);
+    return 0;
+}
+
+int run_smoke(SocketServerConfig cfg, const ScenarioSpec& spec) {
+    if (cfg.server.store_dir.empty()) {
+        cfg.server.store_dir = "/tmp/asuca_forecast_service_" +
+                               std::to_string(::getpid());
+    }
+    // A fresh store: the first query must EXECUTE (and only the restart
+    // may serve from disk), even when a previous run left spills here.
+    std::filesystem::remove_all(cfg.server.store_dir);
+    std::printf("forecast service smoke (store %s)\n",
+                cfg.server.store_dir.c_str());
+
+    // The in-process truth: the same canonical spec, run directly.
+    const ForecastResult local =
+        run_forecast(canonicalize(spec), nullptr, false);
+    if (!local.ok()) {
+        std::printf("local run failed: %s\n", local.error.c_str());
+        return 1;
+    }
+
+    bool all_ok = true;
+    int port = 0;
+    {
+        SocketServer server(cfg);
+        port = server.port();
+        ForecastClient client("127.0.0.1", port);
+
+        // A malformed frame FIRST: it must bounce as a typed
+        // bad_request and must not consume any forecast capacity.
+        const std::string bounced =
+            client.raw_roundtrip("{\"v\":1,\"type\":\"forecast\"");
+        const io::JsonValue bj = io::json_parse(bounced);
+        all_ok &= check(!bj.at("ok").as_bool() &&
+                            bj.at("error").at("code").as_string() ==
+                                "bad_request",
+                        "malformed frame -> typed bad_request");
+        all_ok &= check(server.core().stats().submitted == 0,
+                        "malformed frame consumed no forecast capacity");
+
+        wire::ForecastRequestV1 req;
+        req.spec = spec;
+        req.id = 7;
+        const wire::ForecastResponseV1 res = client.forecast(req);
+        all_ok &= check(res.ok && res.id == 7,
+                        "loopback forecast served (id echoed)");
+        all_ok &= check(res.fingerprint == local.fingerprint,
+                        "loopback bitwise identical to in-process run");
+        all_ok &= check(res.served_from == "executed",
+                        "first service of the product executed");
+
+        const io::JsonValue stats = client.stats();
+        all_ok &= check(stats.at("completed").as_number() == 1.0,
+                        "wire stats frame shows the completion");
+
+        client.shutdown_server();
+        server.wait();  // graceful drain, same path as --serve
+    }
+
+    // Restart on the same store: the repeat query must be answered from
+    // the durable result cache — no model re-integration — bitwise
+    // identical to the live run.
+    {
+        SocketServer server(cfg);
+        ForecastClient client("127.0.0.1", server.port());
+        wire::ForecastRequestV1 req;
+        req.spec = spec;
+        req.id = 8;
+        const wire::ForecastResponseV1 res = client.forecast(req);
+        all_ok &= check(res.ok, "restarted service answered");
+        all_ok &= check(res.served_from == "durable",
+                        "restart served the repeat query from disk");
+        all_ok &= check(res.fingerprint == local.fingerprint,
+                        "durable answer bitwise identical to live run");
+        client.shutdown_server();
+        server.wait();
+    }
+    std::printf("%s\n", all_ok ? "SMOKE PASS" : "SMOKE FAIL");
+    return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool serve = false;
+    bool client = false;
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::string store;
+    int dims[4] = {16, 16, 12, 2};  // nx ny nz steps
+    int n_pos = 0;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--serve") == 0) {
+            serve = true;
+        } else if (std::strcmp(argv[a], "--client") == 0) {
+            client = true;
+        } else if (std::strncmp(argv[a], "--port=", 7) == 0) {
+            port = std::atoi(argv[a] + 7);
+        } else if (std::strncmp(argv[a], "--host=", 7) == 0) {
+            host = argv[a] + 7;
+        } else if (std::strncmp(argv[a], "--store=", 8) == 0) {
+            store = argv[a] + 8;
+        } else if (n_pos < 4) {
+            dims[n_pos++] = std::atoi(argv[a]);
+        }
+    }
+    const ScenarioSpec spec =
+        make_spec(dims[0], dims[1], dims[2], dims[3]);
+
+    if (client) {
+        if (port <= 0) {
+            std::printf("--client requires --port=N\n");
+            return 2;
+        }
+        return run_client(host, port, spec);
+    }
+
+    SocketServerConfig cfg;
+    cfg.host = host;
+    cfg.port = port;
+    cfg.server.n_workers = 2;
+    cfg.server.store_dir = store;
+    if (serve) return run_serve(cfg);
+    return run_smoke(cfg, spec);
+}

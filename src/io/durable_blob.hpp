@@ -231,4 +231,76 @@ inline bool verify_checkpoint_blob(const std::string& blob,
     return true;
 }
 
+// ---------------------------------------------------------------------
+// Generic wrapped blobs: checksum framing for payloads that are NOT v3
+// checkpoints (the forecast service's durable RESULT cache stores
+// compact JSON responses). Same durability contract as above — atomic
+// writes come from write_file_atomic(); detectability comes from this
+// wrapper: magic + payload length + whole-payload FNV-1a, so a store
+// can reject a rotted or truncated entry at load time without knowing
+// anything about the payload's meaning.
+// ---------------------------------------------------------------------
+
+namespace detail {
+/// "ASWB1" — ASuca Wrapped Blob v1 — packed little-endian into a word.
+inline constexpr std::uint64_t kWrapMagic = 0x0000003142575341ull;
+
+inline std::uint64_t wrap_checksum(const std::string& payload) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const unsigned char ch : payload) {
+        h ^= ch;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+}  // namespace detail
+
+/// Frame an arbitrary payload as a wrapped blob:
+/// [magic u64][payload_bytes u64][fnv1a u64][payload].
+inline std::string wrap_blob(const std::string& payload) {
+    std::string out(3 * sizeof(std::uint64_t), '\0');
+    const std::uint64_t magic = detail::kWrapMagic;
+    const std::uint64_t bytes = payload.size();
+    const std::uint64_t sum = detail::wrap_checksum(payload);
+    std::memcpy(out.data(), &magic, sizeof(magic));
+    std::memcpy(out.data() + 8, &bytes, sizeof(bytes));
+    std::memcpy(out.data() + 16, &sum, sizeof(sum));
+    out += payload;
+    return out;
+}
+
+/// Verify a wrapped blob's framing and checksum. Returns true for an
+/// intact blob; on failure returns false with the first problem in
+/// `*why` (when non-null). Never throws — the load-time gate.
+inline bool verify_wrapped_blob(const std::string& blob,
+                                std::string* why = nullptr) {
+    const auto fail = [&](const std::string& reason) {
+        if (why != nullptr) *why = reason;
+        return false;
+    };
+    if (blob.size() < 3 * sizeof(std::uint64_t)) {
+        return fail("truncated (wrapped-blob header)");
+    }
+    std::uint64_t magic = 0, bytes = 0, stored = 0;
+    std::memcpy(&magic, blob.data(), sizeof(magic));
+    std::memcpy(&bytes, blob.data() + 8, sizeof(bytes));
+    std::memcpy(&stored, blob.data() + 16, sizeof(stored));
+    if (magic != detail::kWrapMagic) return fail("not a wrapped blob");
+    if (bytes != blob.size() - 3 * sizeof(std::uint64_t)) {
+        return fail("wrapped-blob length mismatch");
+    }
+    const std::uint64_t sum = detail::wrap_checksum(blob.substr(24));
+    if (sum != stored) return fail("wrapped-blob checksum mismatch");
+    return true;
+}
+
+/// Strip the wrapper from a VERIFIED wrapped blob (callers gate on
+/// verify_wrapped_blob first; this throws on a damaged frame).
+inline std::string unwrap_blob(const std::string& blob) {
+    std::string why;
+    ASUCA_REQUIRE(verify_wrapped_blob(blob, &why),
+                  "damaged wrapped blob: " << why);
+    return blob.substr(3 * sizeof(std::uint64_t));
+}
+
 }  // namespace asuca::io

@@ -95,6 +95,16 @@ class JsonValue {
         return out;
     }
 
+    /// Serialize onto ONE line (no newlines, no indentation) with the
+    /// same exact double round-trip. This is the wire form of the
+    /// forecast service's newline-delimited JSON frames, where an
+    /// embedded '\n' would split one document into two frames.
+    std::string dump_compact() const {
+        std::string out;
+        write_compact(out);
+        return out;
+    }
+
   private:
     template <class T>
     const T& get(const char* what) const {
@@ -169,6 +179,41 @@ class JsonValue {
                 out += (i + 1 < o.size()) ? ",\n" : "\n";
             }
             out += pad + "}";
+        }
+    }
+
+    void write_compact(std::string& out) const {
+        if (is_null()) {
+            out += "null";
+        } else if (is_bool()) {
+            out += as_bool() ? "true" : "false";
+        } else if (is_number()) {
+            const double d = as_number();
+            ASUCA_REQUIRE(std::isfinite(d),
+                          "JSON cannot represent non-finite number");
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", d);
+            out += buf;
+        } else if (is_string()) {
+            write_escaped(out, as_string());
+        } else if (is_array()) {
+            out += '[';
+            const auto& a = as_array();
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (i > 0) out += ',';
+                a[i].write_compact(out);
+            }
+            out += ']';
+        } else {
+            out += '{';
+            const auto& o = as_object();
+            for (std::size_t i = 0; i < o.size(); ++i) {
+                if (i > 0) out += ',';
+                write_escaped(out, o[i].first);
+                out += ':';
+                o[i].second.write_compact(out);
+            }
+            out += '}';
         }
     }
 

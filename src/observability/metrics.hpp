@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -207,9 +208,35 @@ class MetricsRegistry {
         for (auto& [_, h] : histograms_) h->reset();
     }
 
+    /// Snapshot providers: components that keep their OWN always-on
+    /// tallies (e.g. ForecastServer's stats atomics, which must count
+    /// even when the global metrics gate is off) register a callback
+    /// that exports them into every snapshot(). This is how a stats
+    /// struct and the observability layer share one source of truth
+    /// instead of double-counting through parallel counters.
+    ///
+    /// Providers run inside snapshot() under the registry mutex and
+    /// regardless of the enable flag; a provider must only read its
+    /// component's state and set() members on the passed object — it
+    /// must NOT call back into the registry. Components deregister
+    /// (by the returned id) before they are destroyed.
+    using SnapshotProvider = std::function<void(io::JsonValue&)>;
+
+    std::uint64_t add_provider(SnapshotProvider fn) {
+        std::lock_guard lock(mutex_);
+        const std::uint64_t id = next_provider_id_++;
+        providers_.emplace(id, std::move(fn));
+        return id;
+    }
+    void remove_provider(std::uint64_t id) {
+        std::lock_guard lock(mutex_);
+        providers_.erase(id);
+    }
+
     /// One JSON object with every metric's current value. Counters and
     /// gauges become numbers; histograms become {count, mean, max}
-    /// summaries (bucket detail stays in-process).
+    /// summaries (bucket detail stays in-process). Registered snapshot
+    /// providers append their component's values last.
     io::JsonValue snapshot() const {
         std::lock_guard lock(mutex_);
         io::JsonValue out;
@@ -226,6 +253,7 @@ class MetricsRegistry {
             s.set("max", h->max());
             out.set(name, std::move(s));
         }
+        for (const auto& [_, p] : providers_) p(out);
         return out;
     }
 
@@ -234,6 +262,8 @@ class MetricsRegistry {
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::uint64_t, SnapshotProvider> providers_;
+    std::uint64_t next_provider_id_ = 1;
 };
 
 /// Turns the registry into a per-step time series: attach `record` to

@@ -57,6 +57,16 @@ struct DurableStoreConfig {
     std::string dir;              ///< spill directory (created if missing)
     std::size_t ram_entries = 8;  ///< LRU cache capacity (>= 1)
     int keep_epochs = 2;          ///< on-disk epochs retained per name
+    /// What the store holds, and therefore how a disk reload is
+    /// verified: `checkpoint_v3` walks the v3 checkpoint stream
+    /// (per-section checksums); `wrapped` holds arbitrary payloads —
+    /// the forecast service's durable RESULT cache stores compact JSON
+    /// responses — framed by io::wrap_blob (magic + length +
+    /// whole-payload FNV-1a). put() adds the wrapped frame on the way
+    /// to disk and get() strips it after verification, so callers
+    /// always see raw payload bytes in either format.
+    enum class BlobFormat { checkpoint_v3, wrapped };
+    BlobFormat format = BlobFormat::checkpoint_v3;
 };
 
 class DurableCheckpointStore final : public CheckpointStore {
@@ -78,7 +88,11 @@ class DurableCheckpointStore final : public CheckpointStore {
         NameInfo& info = entry_for(name);
         const long long epoch = info.epochs.empty() ? 1
                                                     : info.epochs.back() + 1;
-        io::write_file_atomic(path_of(info.base, epoch), *shared);
+        io::write_file_atomic(
+            path_of(info.base, epoch),
+            cfg_.format == DurableStoreConfig::BlobFormat::wrapped
+                ? io::wrap_blob(*shared)
+                : *shared);
         info.epochs.push_back(epoch);
         while (info.epochs.size() >
                static_cast<std::size_t>(cfg_.keep_epochs)) {
@@ -112,7 +126,7 @@ class DurableCheckpointStore final : public CheckpointStore {
             } catch (const Error& err) {
                 why = err.what();
             }
-            if (why.empty() && io::verify_checkpoint_blob(bytes, &why)) {
+            if (why.empty() && verify_and_strip(bytes, &why)) {
                 if (obs::metrics_enabled()) {
                     obs::MetricsRegistry::global()
                         .counter("server.checkpoint_disk_reload")
@@ -207,6 +221,17 @@ class DurableCheckpointStore final : public CheckpointStore {
         std::string base;               ///< sanitized on-disk base name
         std::vector<long long> epochs;  ///< surviving epochs, ascending
     };
+
+    /// Format-dispatched load-time gate: verify the on-disk bytes and,
+    /// for wrapped blobs, strip the frame so `bytes` holds the payload.
+    bool verify_and_strip(std::string& bytes, std::string* why) const {
+        if (cfg_.format == DurableStoreConfig::BlobFormat::wrapped) {
+            if (!io::verify_wrapped_blob(bytes, why)) return false;
+            bytes = io::unwrap_blob(bytes);
+            return true;
+        }
+        return io::verify_checkpoint_blob(bytes, why);
+    }
 
     std::string path_of(const std::string& base, long long epoch) const {
         return cfg_.dir + "/" + base + ".e" + std::to_string(epoch) +

@@ -1,0 +1,105 @@
+// ForecastClient: the wire API's client side — one blocking TCP
+// connection speaking newline-delimited JSON frames (wire.hpp) to a
+// SocketServer. Used by the tests, the example driver's --client mode
+// and bench_service_rtt; deliberately synchronous (send one frame, read
+// one frame) so a round trip measures exactly one request.
+//
+// raw_roundtrip() ships an ARBITRARY line and returns the server's
+// reply verbatim — the negative-path tests use it to prove that
+// malformed frames come back as typed bad_request without touching the
+// queue.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/io/json.hpp"
+#include "src/server/socket_server.hpp"
+#include "src/server/wire.hpp"
+
+namespace asuca::server {
+
+class ForecastClient {
+  public:
+    /// Connect to a numeric address (the front-end is loopback-scoped).
+    explicit ForecastClient(const std::string& host, int port) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASUCA_REQUIRE(fd_ >= 0, "socket() failed");
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        ASUCA_REQUIRE(
+            ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+            "bad numeric address '" << host << "'");
+        ASUCA_REQUIRE(::connect(fd_,
+                                reinterpret_cast<const sockaddr*>(&addr),
+                                sizeof(addr)) == 0,
+                      "connect(" << host << ":" << port << ") failed");
+        const int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+
+    ~ForecastClient() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+
+    ForecastClient(const ForecastClient&) = delete;
+    ForecastClient& operator=(const ForecastClient&) = delete;
+
+    /// One forecast round trip. Throws wire::WireError when the reply
+    /// frame itself is malformed; a server-side failure comes back as a
+    /// response with ok == false and a typed error.
+    wire::ForecastResponseV1 forecast(const wire::ForecastRequestV1& req) {
+        const std::string reply =
+            raw_roundtrip(wire::request_to_json(req).dump_compact());
+        return wire::parse_response_line(reply);
+    }
+
+    /// The server's stats frame (the same numbers stats() reports
+    /// in-process — one source of truth).
+    io::JsonValue stats() {
+        io::JsonValue q;
+        q.set("v", wire::kWireVersion);
+        q.set("type", "stats");
+        return io::json_parse(raw_roundtrip(q.dump_compact()));
+    }
+
+    /// Ask the server to drain and exit; returns once acknowledged.
+    void shutdown_server() {
+        io::JsonValue q;
+        q.set("v", wire::kWireVersion);
+        q.set("type", "shutdown");
+        const io::JsonValue ack =
+            io::json_parse(raw_roundtrip(q.dump_compact()));
+        ASUCA_REQUIRE(ack.has("ok") && ack.at("ok").as_bool(),
+                      "shutdown not acknowledged");
+    }
+
+    /// Ship one raw line (no trailing newline needed) and return the
+    /// server's one-line reply. The negative-path escape hatch.
+    std::string raw_roundtrip(const std::string& line) {
+        std::string frame = line;
+        frame += '\n';
+        ASUCA_REQUIRE(net_detail::send_all(fd_, frame),
+                      "send failed (connection lost)");
+        std::string got;
+        bool overflow = false;
+        ASUCA_REQUIRE(net_detail::recv_line(fd_, buffer_, got,
+                                            kMaxReply, overflow),
+                      "connection closed before a reply arrived");
+        return got;
+    }
+
+  private:
+    static constexpr std::size_t kMaxReply = 1 << 20;
+    int fd_ = -1;
+    std::string buffer_;  ///< partial-frame carry across round trips
+};
+
+}  // namespace asuca::server

@@ -13,10 +13,17 @@
 //                └─ ForecastHandle (waitable)                     │  (ScopedOverride)
 //                                                                 └─ run_forecast()
 //
-//   * Admission control reads the queue depth and picks a degradation
-//     level BEFORE enqueueing: a loaded server sheds RESOLUTION (shorter
-//     horizon, then coarser grid — scenario.hpp's ladder), never
-//     requests. Only the opt-in shed_when_full policy ever rejects.
+//   * Admission control picks a degradation level BEFORE enqueueing: a
+//     loaded server sheds RESOLUTION (shorter horizon, then coarser
+//     grid — scenario.hpp's ladder), never requests. Only the opt-in
+//     shed_when_full policy ever rejects. The default policy is
+//     LATENCY-CALIBRATED: an EWMA of measured per-request service time
+//     turns the queue depth into an estimated wait, compared against
+//     admission_target_ms — so the ladder reacts to what this machine
+//     actually delivers, not to a depth heuristic tuned for some other
+//     hardware. Until the first completion calibrates the estimate (and
+//     under AdmissionPolicy::queue_depth, kept for A/B comparison) the
+//     classic depth watermarks decide.
 //   * Deduplication: submissions canonicalize to a key; a key already
 //     pending or completed attaches the caller to the existing entry —
 //     one execution serves every duplicate (and completed entries keep
@@ -46,12 +53,23 @@
 //   * Durability: store_dir switches the checkpoint store to a
 //     DurableCheckpointStore (crash-safe atomic spills, checksum-
 //     verified reloads, epoch retention, LRU RAM cache); empty keeps
-//     the in-memory store.
-//   * Observability: per-request TraceSpans ("server" category) and
-//     server.* metrics (requests, completed, deduped, degraded, shed,
-//     failed, retries, quarantine/reinstate, capacity gauge,
-//     queue_depth gauge, latency_us histogram) through the existing
-//     TraceRecorder / MetricsRegistry.
+//     the in-memory store. With a store_dir the server also keeps a
+//     durable RESULT cache (<store_dir>/results, wrapped-blob format):
+//     completed results spill as compact JSON keyed on canonical_key,
+//     and a RESTARTED server answers a repeat query from disk —
+//     served_from == "durable", fingerprint bitwise identical to the
+//     live run — without re-integrating anything.
+//   * API: the primary entry point is the wire envelope —
+//     submit(wire::ForecastRequestV1) — shared with the out-of-process
+//     front-end (socket_server.hpp); submit(ScenarioSpec) survives as a
+//     deprecated shim. Every failure carries a typed ErrorCode from the
+//     scenario.hpp taxonomy.
+//   * Observability: per-request TraceSpans ("server" category),
+//     server.* gauges/histograms (capacity, queue_depth, latency_us)
+//     through the existing TraceRecorder / MetricsRegistry — and ONE
+//     source of truth for event counts: the always-on stats() atomics,
+//     exported into every MetricsRegistry snapshot through a snapshot
+//     provider (no parallel gated counters to drift out of sync).
 //
 // Bitwise guarantee: a request's bits depend only on its canonical spec
 // (and the referenced checkpoint blob) — never on which worker ran it,
@@ -61,10 +79,12 @@
 // no numerics.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -81,8 +101,15 @@
 #include "src/server/ensemble.hpp"
 #include "src/server/request_queue.hpp"
 #include "src/server/scenario.hpp"
+#include "src/server/wire.hpp"
 
 namespace asuca::server {
+
+/// How admission picks a degradation level (see the header comment).
+enum class AdmissionPolicy {
+    queue_depth,         ///< classic depth watermarks (cap/2, 3*cap/4)
+    latency_calibrated,  ///< estimated wait vs admission_target_ms
+};
 
 struct ServerConfig {
     std::size_t n_workers = 2;         ///< concurrent forecast executions
@@ -91,6 +118,19 @@ struct ServerConfig {
     bool keep_state = false;  ///< attach full final states to results
     /// Degradation ladder on admission (shed resolution under load).
     bool degrade_under_load = true;
+    /// Which signal drives the ladder. latency_calibrated compares the
+    /// estimated wait (queue depth x EWMA service time / healthy
+    /// workers) against admission_target_ms: level 1 from half the
+    /// target, level 2 from three quarters. Cold servers (no completed
+    /// request yet) fall back to the queue_depth watermarks.
+    AdmissionPolicy admission = AdmissionPolicy::latency_calibrated;
+    double admission_target_ms = 2000.0;  ///< acceptable estimated wait
+    double ewma_alpha = 0.2;  ///< EWMA weight of the newest sample
+    /// Spill completed results to <store_dir>/results and serve repeat
+    /// queries from disk across restarts. Needs store_dir; servers that
+    /// keep_state skip the durable path (a disk result has no state to
+    /// attach, and tests that demand states must get them).
+    bool durable_results = true;
     /// Reject when the queue is full instead of blocking the submitter.
     /// OFF by default: the production policy is backpressure + degraded
     /// resolution, never dropped requests.
@@ -124,6 +164,7 @@ struct ServerStats {
     std::uint64_t completed = 0;   ///< executions that produced a result
     std::uint64_t failed = 0;      ///< executions that threw
     std::uint64_t dedup_hits = 0;  ///< submissions served by another entry
+    std::uint64_t durable_hits = 0;  ///< served from the on-disk results
     std::uint64_t degraded = 0;    ///< admissions rewritten by the ladder
     std::uint64_t shed = 0;        ///< rejected (shed_when_full only)
     std::uint64_t retried = 0;     ///< re-dispatches by the retry ladder
@@ -220,7 +261,38 @@ class ForecastServer {
             store_ = std::make_unique<DurableCheckpointStore>(
                 DurableStoreConfig{cfg_.store_dir, cfg_.store_ram_entries,
                                    cfg_.store_keep_epochs});
+            if (cfg_.durable_results && !cfg_.keep_state) {
+                results_ = std::make_unique<DurableCheckpointStore>(
+                    DurableStoreConfig{
+                        cfg_.store_dir + "/results", cfg_.store_ram_entries,
+                        cfg_.store_keep_epochs,
+                        DurableStoreConfig::BlobFormat::wrapped});
+            }
         }
+        // One source of truth for server event counts: the always-on
+        // stats() atomics, exported into every metrics snapshot.
+        provider_id_ = obs::MetricsRegistry::global().add_provider(
+            [this](io::JsonValue& out) {
+                const ServerStats s = stats();
+                out.set("server.submitted",
+                        static_cast<double>(s.submitted));
+                out.set("server.completed",
+                        static_cast<double>(s.completed));
+                out.set("server.failed", static_cast<double>(s.failed));
+                out.set("server.deduped",
+                        static_cast<double>(s.dedup_hits));
+                out.set("server.durable_hits",
+                        static_cast<double>(s.durable_hits));
+                out.set("server.degraded",
+                        static_cast<double>(s.degraded));
+                out.set("server.shed", static_cast<double>(s.shed));
+                out.set("server.retried",
+                        static_cast<double>(s.retried));
+                out.set("server.quarantined",
+                        static_cast<double>(s.quarantined));
+                out.set("server.reinstated",
+                        static_cast<double>(s.reinstated));
+            });
         quarantined_ = std::make_unique<std::atomic<bool>[]>(cfg_.n_workers);
         for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
             quarantined_[w] = false;
@@ -254,67 +326,24 @@ class ForecastServer {
         return quarantined_[w].load(std::memory_order_acquire);
     }
 
-    /// Submit one request. Never blocks on execution — returns a handle
-    /// immediately (after any backpressure wait for a queue slot).
+    /// Submit one envelope request — the primary API, shared with the
+    /// out-of-process front-end. Never blocks on execution — returns a
+    /// handle immediately (after any backpressure wait for a queue
+    /// slot). Throws asuca::Error (a bad_request to the wire layer)
+    /// when the spec fails canonicalize(); every post-admission failure
+    /// instead completes the handle with a typed ErrorCode.
+    ForecastHandle submit(const wire::ForecastRequestV1& req) {
+        return submit_spec(req.spec,
+                           std::chrono::milliseconds(req.deadline_ms));
+    }
+
+    /// Pre-envelope shim: the C++-object surface every caller used
+    /// before the wire API existed. Same execution path; no per-request
+    /// deadline override.
+    [[deprecated("use submit(wire::ForecastRequestV1) — the envelope "
+                 "API")]]
     ForecastHandle submit(const ScenarioSpec& spec) {
-        const ScenarioSpec canon = canonicalize(spec);
-        const int level = admission_level(canon);
-        const ScenarioSpec exec = apply_degradation(canon, level);
-        const std::string key = canonical_key(exec);
-
-        std::shared_ptr<detail::Entry> entry;
-        {
-            std::lock_guard lock(cache_mutex_);
-            if (cfg_.cache_results) {
-                const auto it = cache_.find(key);
-                if (it != cache_.end()) {
-                    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
-                    count("server.deduped");
-                    return ForecastHandle(it->second, /*attached=*/true);
-                }
-            }
-            entry = std::make_shared<detail::Entry>();
-            entry->spec = exec;
-            entry->key = key;
-            entry->degrade_level = level;
-            if (cfg_.request_deadline.count() > 0) {
-                entry->deadline = std::chrono::steady_clock::now() +
-                                  cfg_.request_deadline;
-            }
-            if (cfg_.cache_results) cache_[key] = entry;
-        }
-
-        submitted_.fetch_add(1, std::memory_order_relaxed);
-        count("server.requests");
-        if (level > 0) {
-            degraded_.fetch_add(1, std::memory_order_relaxed);
-            count("server.degraded");
-        }
-        bool admitted;
-        if (cfg_.shed_when_full) {
-            admitted = queue_.try_push(entry);
-            if (!admitted) {
-                shed_.fetch_add(1, std::memory_order_relaxed);
-                count("server.shed");
-            }
-        } else {
-            admitted = queue_.push(entry);  // backpressure, never drops
-        }
-        if (!admitted) {
-            forget(key);
-            ForecastResult res;
-            res.executed = exec;
-            res.degrade_level = level;
-            res.error = cfg_.shed_when_full && !queue_.closed()
-                            ? "shed: request queue full"
-                            : "server is shut down";
-            entry->complete(std::move(res));
-        } else if (obs::metrics_enabled()) {
-            obs::MetricsRegistry::global()
-                .gauge("server.queue_depth")
-                .set(static_cast<double>(queue_.size()));
-        }
-        return ForecastHandle(std::move(entry), /*attached=*/false);
+        return submit_spec(spec, std::chrono::milliseconds{0});
     }
 
     /// Fork a stored checkpoint into n_members perturbed member requests
@@ -332,7 +361,7 @@ class ForecastServer {
                     .counter("server.ensemble_members")
                     .add();
             }
-            handles.push_back(submit(m));
+            handles.push_back(submit_spec(m, std::chrono::milliseconds{0}));
         }
         return handles;
     }
@@ -344,6 +373,7 @@ class ForecastServer {
     void shutdown() {
         bool expected = false;
         if (!stopped_.compare_exchange_strong(expected, true)) return;
+        obs::MetricsRegistry::global().remove_provider(provider_id_);
         queue_.close();
         for (auto& th : workers_) th.join();
         for (auto& job : queue_.poison()) {
@@ -351,8 +381,8 @@ class ForecastServer {
             res.executed = job->spec;
             res.degrade_level = job->degrade_level;
             res.error = "server is shut down";
+            res.code = ErrorCode::internal_fault;
             failed_.fetch_add(1, std::memory_order_relaxed);
-            count("server.failed");
             forget(job->key);
             job->complete(std::move(res));
         }
@@ -364,6 +394,7 @@ class ForecastServer {
         s.completed = completed_.load(std::memory_order_relaxed);
         s.failed = failed_.load(std::memory_order_relaxed);
         s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+        s.durable_hits = durable_hits_.load(std::memory_order_relaxed);
         s.degraded = degraded_.load(std::memory_order_relaxed);
         s.shed = shed_.load(std::memory_order_relaxed);
         s.retried = retried_.load(std::memory_order_relaxed);
@@ -372,23 +403,194 @@ class ForecastServer {
         return s;
     }
 
+    /// The calibrated admission signal: EWMA of per-request service
+    /// time in ms; 0 until the first completion.
+    double ewma_service_ms() const {
+        const std::uint64_t bits =
+            ewma_bits_.load(std::memory_order_relaxed);
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        return d;
+    }
+
+    std::size_t healthy_workers() const {
+        std::size_t healthy = 0;
+        for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
+            healthy +=
+                quarantined_[w].load(std::memory_order_relaxed) ? 0 : 1;
+        }
+        return healthy;
+    }
+
+    /// The wire `stats` endpoint body: the SAME atomics stats() reads
+    /// (and the metrics snapshot provider exports), plus the live
+    /// admission signals — one source of truth, three views.
+    io::JsonValue stats_json() const {
+        const ServerStats s = stats();
+        io::JsonValue j;
+        j.set("v", wire::kWireVersion);
+        j.set("type", "stats");
+        j.set("submitted", static_cast<long long>(s.submitted));
+        j.set("completed", static_cast<long long>(s.completed));
+        j.set("failed", static_cast<long long>(s.failed));
+        j.set("dedup_hits", static_cast<long long>(s.dedup_hits));
+        j.set("durable_hits", static_cast<long long>(s.durable_hits));
+        j.set("degraded", static_cast<long long>(s.degraded));
+        j.set("shed", static_cast<long long>(s.shed));
+        j.set("retried", static_cast<long long>(s.retried));
+        j.set("quarantined", static_cast<long long>(s.quarantined));
+        j.set("reinstated", static_cast<long long>(s.reinstated));
+        j.set("queue_depth", static_cast<long long>(queue_.size()));
+        j.set("workers_total", static_cast<long long>(cfg_.n_workers));
+        j.set("workers_healthy",
+              static_cast<long long>(healthy_workers()));
+        j.set("ewma_service_ms", ewma_service_ms());
+        return j;
+    }
+
   private:
-    /// The degradation ladder's admission rule: below half capacity run
+    /// The shared execution path behind both submit() overloads and
+    /// submit_ensemble(). deadline_override > 0 replaces the config's
+    /// per-request deadline budget for this request.
+    ForecastHandle submit_spec(const ScenarioSpec& spec,
+                               std::chrono::milliseconds deadline_override) {
+        const ScenarioSpec canon = canonicalize(spec);
+        const int level = admission_level(canon);
+        const ScenarioSpec exec = apply_degradation(canon, level);
+        const std::string key = canonical_key(exec);
+
+        std::shared_ptr<detail::Entry> entry;
+        {
+            std::lock_guard lock(cache_mutex_);
+            if (cfg_.cache_results) {
+                const auto it = cache_.find(key);
+                if (it != cache_.end()) {
+                    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+                    return ForecastHandle(it->second, /*attached=*/true);
+                }
+            }
+            entry = std::make_shared<detail::Entry>();
+            entry->spec = exec;
+            entry->key = key;
+            entry->degrade_level = level;
+            const auto deadline = deadline_override.count() > 0
+                                      ? deadline_override
+                                      : cfg_.request_deadline;
+            if (deadline.count() > 0) {
+                entry->deadline =
+                    std::chrono::steady_clock::now() + deadline;
+            }
+            if (cfg_.cache_results) cache_[key] = entry;
+        }
+
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        if (level > 0) {
+            degraded_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Durable cold hit: a previous incarnation of this server (or
+        // this one, before a cache_results=false caller re-asked)
+        // already produced this exact product — serve its spilled
+        // result from disk instead of re-integrating.
+        if (results_ != nullptr) {
+            if (CheckpointStore::Blob blob = results_->get(key)) {
+                ForecastResult res;
+                bool parsed = false;
+                try {
+                    res = wire::result_from_json(io::json_parse(*blob));
+                    parsed = true;
+                } catch (const Error&) {
+                    // A result spilled by a FUTURE format would land
+                    // here; fall through and execute fresh.
+                }
+                if (parsed) {
+                    res.degrade_level = level;
+                    res.served_from = "durable";
+                    durable_hits_.fetch_add(1, std::memory_order_relaxed);
+                    entry->complete(std::move(res));
+                    return ForecastHandle(std::move(entry),
+                                          /*attached=*/false);
+                }
+            }
+        }
+        bool admitted;
+        if (cfg_.shed_when_full) {
+            admitted = queue_.try_push(entry);
+            if (!admitted) {
+                shed_.fetch_add(1, std::memory_order_relaxed);
+            }
+        } else {
+            admitted = queue_.push(entry);  // backpressure, never drops
+        }
+        if (!admitted) {
+            forget(key);
+            ForecastResult res;
+            res.executed = exec;
+            res.degrade_level = level;
+            const bool shed = cfg_.shed_when_full && !queue_.closed();
+            res.error = shed ? "shed: request queue full"
+                             : "server is shut down";
+            res.code = shed ? ErrorCode::over_capacity
+                            : ErrorCode::internal_fault;
+            entry->complete(std::move(res));
+        } else if (obs::metrics_enabled()) {
+            obs::MetricsRegistry::global()
+                .gauge("server.queue_depth")
+                .set(static_cast<double>(queue_.size()));
+        }
+        return ForecastHandle(std::move(entry), /*attached=*/false);
+    }
+    /// The degradation ladder's admission rule. Latency-calibrated (the
+    /// default): estimate the wait a new admission faces as queue depth
+    /// x EWMA service time / healthy workers, and shed the horizon from
+    /// half of admission_target_ms, resolution from three quarters — a
+    /// direct "will this answer arrive in time" test using MEASURED
+    /// service times. Queue-depth (the pre-calibration policy, kept for
+    /// A/B and as the cold-start fallback): below half capacity run
     /// full requests, between half and three-quarters shed the horizon,
     /// above that shed resolution too (clamped to what the spec allows).
     int admission_level(const ScenarioSpec& spec) const {
         if (!cfg_.degrade_under_load) return 0;
         const std::size_t depth = queue_.size();
         const std::size_t cap = queue_.capacity();
+        const double ewma = ewma_service_ms();
         int level = 0;
-        if (2 * depth >= cap) level = 1;
-        if (4 * depth >= 3 * cap) level = 2;
+        if (cfg_.admission == AdmissionPolicy::latency_calibrated &&
+            ewma > 0.0) {
+            const double workers = static_cast<double>(
+                std::max<std::size_t>(1, healthy_workers()));
+            const double est_wait_ms =
+                static_cast<double>(depth) * ewma / workers;
+            if (2.0 * est_wait_ms >= cfg_.admission_target_ms) level = 1;
+            if (4.0 * est_wait_ms >= 3.0 * cfg_.admission_target_ms) {
+                level = 2;
+            }
+        } else {
+            if (2 * depth >= cap) level = 1;
+            if (4 * depth >= 3 * cap) level = 2;
+        }
         return std::min(level, max_degrade_level(spec));
     }
 
-    static void count(const char* name) {
-        if (!obs::metrics_enabled()) return;
-        obs::MetricsRegistry::global().counter(name).add();
+    /// Fold one measured service time into the admission EWMA (bitwise
+    /// CAS on double bits; the first sample seeds the estimate).
+    void observe_service_ms(double ms) {
+        if (!(ms > 0.0)) return;
+        std::uint64_t expected =
+            ewma_bits_.load(std::memory_order_relaxed);
+        for (;;) {
+            double cur;
+            std::memcpy(&cur, &expected, sizeof(cur));
+            const double next =
+                cur == 0.0 ? ms
+                           : cfg_.ewma_alpha * ms +
+                                 (1.0 - cfg_.ewma_alpha) * cur;
+            std::uint64_t bits;
+            std::memcpy(&bits, &next, sizeof(bits));
+            if (ewma_bits_.compare_exchange_weak(
+                    expected, bits, std::memory_order_relaxed)) {
+                return;
+            }
+        }
     }
 
     void forget(const std::string& key) {
@@ -416,9 +618,13 @@ class ForecastServer {
             }
         }
         CheckpointStore::Blob blob = store_->get(spec.warm_start);
-        ASUCA_REQUIRE(blob != nullptr, "warm-start checkpoint '"
-                                           << spec.warm_start
-                                           << "' not in the store");
+        if (blob == nullptr) {
+            // The client named a checkpoint the store cannot serve: a
+            // bad_request (their problem), not a worker fault — the
+            // retry ladder must not engage.
+            throw BadRequestError("warm-start checkpoint '" +
+                                  spec.warm_start + "' not in the store");
+        }
         return blob;
     }
 
@@ -437,7 +643,6 @@ class ForecastServer {
     void quarantine(std::size_t w, const std::string& why) {
         quarantined_[w].store(true, std::memory_order_release);
         quarantined_count_.fetch_add(1, std::memory_order_relaxed);
-        count("server.quarantine");
         set_capacity_gauge();
         obs::trace_instant("quarantine", static_cast<Index>(w), "server");
         (void)why;
@@ -482,7 +687,6 @@ class ForecastServer {
         if (clean) {
             quarantined_[w].store(false, std::memory_order_release);
             reinstated_.fetch_add(1, std::memory_order_relaxed);
-            count("server.reinstate");
             set_capacity_gauge();
             obs::trace_instant("reinstate", static_cast<Index>(w),
                                "server");
@@ -490,17 +694,28 @@ class ForecastServer {
         return true;
     }
 
+    /// Why a re-dispatch did not happen — each maps to its own typed
+    /// ErrorCode for the client.
+    enum class RetryVerdict {
+        requeued,           ///< job is back on the queue
+        retries_exhausted,  ///< attempt budget spent -> internal_fault
+        past_deadline,      ///< deadline budget spent -> deadline_exceeded
+        queue_closed,       ///< server shut down -> internal_fault
+    };
+
     /// Decide and execute a re-dispatch of a job whose attempt just hit
-    /// a fatal fault. True when the job went back on the queue (front-
-    /// requeued past backpressure, after bounded exponential backoff);
-    /// false when its retry/deadline budget is spent or the queue is
-    /// closed — the caller then fails the request for the client.
-    bool try_retry(const std::shared_ptr<detail::Entry>& job) {
+    /// a fatal fault: front-requeued past backpressure after bounded
+    /// exponential backoff, unless its retry/deadline budget is spent
+    /// or the queue closed — the caller then fails the request for the
+    /// client with the verdict's error code.
+    RetryVerdict try_retry(const std::shared_ptr<detail::Entry>& job) {
         job->attempts += 1;
-        if (job->attempts > cfg_.max_request_retries) return false;
+        if (job->attempts > cfg_.max_request_retries) {
+            return RetryVerdict::retries_exhausted;
+        }
         if (job->deadline.time_since_epoch().count() != 0 &&
             std::chrono::steady_clock::now() >= job->deadline) {
-            return false;
+            return RetryVerdict::past_deadline;
         }
         // Injected run faults model first-attempt hazards: a fresh
         // runner would re-arm spec.inject every attempt and never
@@ -511,8 +726,8 @@ class ForecastServer {
         const int shift = std::min(job->attempts - 1, 3);
         std::this_thread::sleep_for(cfg_.retry_backoff * (1 << shift));
         retried_.fetch_add(1, std::memory_order_relaxed);
-        count("server.retries");
-        return queue_.requeue(job);
+        return queue_.requeue(job) ? RetryVerdict::requeued
+                                   : RetryVerdict::queue_closed;
     }
 
     void worker_loop(std::size_t w) {
@@ -569,35 +784,61 @@ class ForecastServer {
                             .add();
                     }
                 }
-            } catch (const std::exception& e) {
-                // Ordinary request failure (bad spec, missing blob):
-                // the client's problem, not the worker's — no ladder.
+            } catch (const BadRequestError& e) {
+                // The client named something the server cannot serve
+                // (e.g. an unknown warm-start checkpoint): typed
+                // bad_request, no ladder.
                 res = ForecastResult{};
                 res.executed = job->spec;
                 res.error = e.what();
+                res.code = ErrorCode::bad_request;
+            } catch (const std::exception& e) {
+                // Ordinary request failure: the request's problem, not
+                // the worker's — no ladder, but an internal_fault code
+                // (the server accepted a request it could not run).
+                res = ForecastResult{};
+                res.executed = job->spec;
+                res.error = e.what();
+                res.code = ErrorCode::internal_fault;
             }
             if (fatal_fault) {
                 quarantine(w, fault_what);
-                if (try_retry(job)) {
+                const RetryVerdict verdict = try_retry(job);
+                if (verdict == RetryVerdict::requeued) {
                     job.reset();
                     continue;  // re-dispatched; this slot goes to canary
                 }
                 res = ForecastResult{};
                 res.executed = job->spec;
-                res.error = "fatal fault, retries exhausted: " + fault_what;
+                if (verdict == RetryVerdict::past_deadline) {
+                    res.error = "deadline exceeded after fatal fault: " +
+                                fault_what;
+                    res.code = ErrorCode::deadline_exceeded;
+                } else {
+                    res.error =
+                        "fatal fault, retries exhausted: " + fault_what;
+                    res.code = ErrorCode::internal_fault;
+                }
             }
             res.degrade_level = job->degrade_level;
             if (res.ok()) {
                 completed_.fetch_add(1, std::memory_order_relaxed);
-                count("server.completed");
+                observe_service_ms(res.latency_ms);
                 if (obs::metrics_enabled()) {
                     obs::MetricsRegistry::global()
                         .histogram("server.latency_us")
                         .observe(res.latency_ms * 1.0e3);
                 }
+                if (results_ != nullptr) {
+                    // Spill the result (compact JSON, no state) so a
+                    // restarted server can answer this product from
+                    // disk.
+                    results_->put(
+                        job->key,
+                        wire::result_to_json(res).dump_compact());
+                }
             } else {
                 failed_.fetch_add(1, std::memory_order_relaxed);
-                count("server.failed");
                 forget(job->key);  // do not cache failures
             }
             job->complete(std::move(res));
@@ -608,6 +849,9 @@ class ForecastServer {
     ServerConfig cfg_;
     RequestQueue<std::shared_ptr<detail::Entry>> queue_;
     std::unique_ptr<CheckpointStore> store_;
+    /// Durable RESULT cache (wrapped-blob JSON keyed on canonical_key);
+    /// nullptr without store_dir / durable_results / with keep_state.
+    std::unique_ptr<DurableCheckpointStore> results_;
     resilience::FaultInjector injector_;
     std::mutex injector_mutex_;  ///< unlike rank hooks, workers race here
     long long warm_resolutions_ = 0;  ///< guarded by injector_mutex_
@@ -622,11 +866,14 @@ class ForecastServer {
     std::atomic<std::uint64_t> completed_{0};
     std::atomic<std::uint64_t> failed_{0};
     std::atomic<std::uint64_t> dedup_hits_{0};
+    std::atomic<std::uint64_t> durable_hits_{0};
     std::atomic<std::uint64_t> degraded_{0};
     std::atomic<std::uint64_t> shed_{0};
     std::atomic<std::uint64_t> retried_{0};
     std::atomic<std::uint64_t> quarantined_count_{0};
     std::atomic<std::uint64_t> reinstated_{0};
+    std::atomic<std::uint64_t> ewma_bits_{0};  ///< EWMA ms as double bits
+    std::uint64_t provider_id_ = 0;  ///< metrics snapshot provider handle
     std::atomic<bool> stopped_{false};
 };
 

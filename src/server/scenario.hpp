@@ -205,8 +205,51 @@ inline void init_model(AsucaModel<double>& model, const ScenarioSpec& s) {
 }
 
 // ---------------------------------------------------------------------
-// Results.
+// Results and the server error taxonomy.
 // ---------------------------------------------------------------------
+
+/// The typed error taxonomy of the serving API (wire.hpp serializes it).
+/// Every failed request carries exactly one code; `degraded` is the one
+/// non-failure code — a successful answer produced at reduced resolution
+/// by the admission ladder, with the detail explaining what was shed.
+enum class ErrorCode {
+    none = 0,           ///< success at full requested resolution
+    bad_request,        ///< malformed frame / invalid spec — never queued
+    over_capacity,      ///< shed by the opt-in shed_when_full policy
+    deadline_exceeded,  ///< retry ladder stopped by the deadline budget
+    internal_fault,     ///< worker/runner fault, retries exhausted
+    degraded,           ///< success, but the ladder shed resolution
+};
+
+inline const char* error_code_name(ErrorCode c) {
+    switch (c) {
+        case ErrorCode::none: return "none";
+        case ErrorCode::bad_request: return "bad_request";
+        case ErrorCode::over_capacity: return "over_capacity";
+        case ErrorCode::deadline_exceeded: return "deadline_exceeded";
+        case ErrorCode::internal_fault: return "internal_fault";
+        case ErrorCode::degraded: return "degraded";
+    }
+    return "internal_fault";
+}
+
+inline ErrorCode error_code_from_name(const std::string& name) {
+    for (const ErrorCode c :
+         {ErrorCode::none, ErrorCode::bad_request, ErrorCode::over_capacity,
+          ErrorCode::deadline_exceeded, ErrorCode::internal_fault,
+          ErrorCode::degraded}) {
+        if (name == error_code_name(c)) return c;
+    }
+    ASUCA_REQUIRE(false, "unknown error code '" << name << "'");
+}
+
+/// A client-caused failure (unknown warm start, nonsense spec): the
+/// request is the problem, not the server — the wire layer answers
+/// `bad_request` and the retry ladder must not engage.
+class BadRequestError : public Error {
+  public:
+    explicit BadRequestError(const std::string& what) : Error(what) {}
+};
 
 namespace detail {
 inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
@@ -251,7 +294,12 @@ struct ForecastResult {
     double total_mass = 0.0;
     double latency_ms = 0.0;  ///< execution wall time (queueing excluded)
     bool deduped = false;     ///< served by attaching to another request
+    /// Where the answer came from: "executed" (a worker ran it) or
+    /// "durable" (reloaded from the on-disk result cache — a restarted
+    /// server answering a repeat query without re-integrating).
+    std::string served_from = "executed";
     std::string error;        ///< empty on success
+    ErrorCode code = ErrorCode::none;  ///< taxonomy slot for `error`
     /// Full final state, kept when the server's keep_state is on (tests
     /// use it to prove bitwise identity; production serves fingerprints).
     std::shared_ptr<const State<double>> state;

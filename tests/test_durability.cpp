@@ -66,6 +66,14 @@ ScenarioSpec small_spec(int steps = 2) {
     return s;
 }
 
+/// Wrap a spec the way an out-of-process client's frame would arrive —
+/// every in-repo caller speaks the wire envelope API.
+wire::ForecastRequestV1 envelope(const ScenarioSpec& spec) {
+    wire::ForecastRequestV1 req;
+    req.spec = spec;
+    return req;
+}
+
 ScenarioSpec decomposed_spec(int steps = 2) {
     ScenarioSpec s = small_spec(steps);
     s.px = 2;
@@ -414,7 +422,7 @@ TEST(DurableLadder, CorruptedEpochReplaysFromThePriorDurableEpoch) {
     ScenarioSpec warm = spec;
     warm.warm_start = "analysis";
     warm.steps = 2;
-    const ForecastResult& res = server.submit(warm).wait();
+    const ForecastResult& res = server.submit(envelope(warm)).wait();
     ASSERT_TRUE(res.ok()) << res.error;
     ASSERT_NE(res.state, nullptr);
 
@@ -441,7 +449,7 @@ TEST(DurableLadder, TransientInjectionRecoversInlineWithoutTheLadder) {
     for (const char* inject : {"halo", "nan"}) {
         ScenarioSpec s = decomposed_spec(2);
         s.inject = inject;
-        const ForecastResult& res = server.submit(s).wait();
+        const ForecastResult& res = server.submit(envelope(s)).wait();
         ASSERT_TRUE(res.ok()) << inject << ": " << res.error;
         ASSERT_NE(res.state, nullptr);
         expect_bitwise(*clean.state, *res.state);
@@ -464,7 +472,7 @@ TEST(DurableLadder, FatalStallQuarantinesRetriesAndMatchesCleanBitwise) {
     ForecastServer server(ladder_config());
     ScenarioSpec s = decomposed_spec(2);
     s.inject = "stall";
-    const ForecastResult& res = server.submit(s).wait();
+    const ForecastResult& res = server.submit(envelope(s)).wait();
     ASSERT_TRUE(res.ok()) << res.error;
     ASSERT_NE(res.state, nullptr);
     expect_bitwise(*clean.state, *res.state);
@@ -485,14 +493,15 @@ TEST(DurableLadder, RetryBudgetExhaustionFailsLoudlyAndServerRecovers) {
     ForecastServer server(cfg);
     // Hold the handle: a failed entry leaves the result cache, so the
     // handle is what keeps the result alive past wait().
-    const ForecastHandle h = server.submit(small_spec());
+    const ForecastHandle h = server.submit(envelope(small_spec()));
     const ForecastResult& res = h.wait();
     EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.code, ErrorCode::internal_fault);
     EXPECT_NE(res.error.find("retries exhausted"), std::string::npos);
     EXPECT_NE(res.error.find("poison"), std::string::npos);
     // The slot still went through quarantine + canary, so the server
     // keeps serving — failure of one request is not failure of service.
-    const ForecastResult& good = server.submit(small_spec(3)).wait();
+    const ForecastResult& good = server.submit(envelope(small_spec(3))).wait();
     EXPECT_TRUE(good.ok()) << good.error;
     server.shutdown();
     const ServerStats stats = server.stats();
@@ -512,10 +521,14 @@ TEST(DurableLadder, DeadlineBudgetStopsTheRetryLadder) {
     // Attempt 1 is poisoned and re-dispatched (the deadline has not hit
     // yet); by attempt 2's poison the backoff spent the budget, so the
     // ladder must stop even though 4 retries formally remain.
-    const ForecastHandle h = server.submit(small_spec());
+    const ForecastHandle h = server.submit(envelope(small_spec()));
     const ForecastResult& res = h.wait();
     EXPECT_FALSE(res.ok());
-    EXPECT_NE(res.error.find("retries exhausted"), std::string::npos);
+    // The taxonomy distinguishes WHY the ladder stopped: the budget ran
+    // out mid-fault, so the typed code is deadline_exceeded, not the
+    // retries-exhausted internal_fault.
+    EXPECT_EQ(res.code, ErrorCode::deadline_exceeded);
+    EXPECT_NE(res.error.find("deadline exceeded"), std::string::npos);
     server.shutdown();
     const ServerStats stats = server.stats();
     EXPECT_EQ(stats.retried, 1u);

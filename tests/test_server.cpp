@@ -42,6 +42,14 @@ ScenarioSpec small_spec(int steps = 2) {
     return s;
 }
 
+/// Every in-repo caller speaks the wire envelope API; this wraps a spec
+/// the way an out-of-process client's frame would arrive.
+wire::ForecastRequestV1 envelope(const ScenarioSpec& spec) {
+    wire::ForecastRequestV1 req;
+    req.spec = spec;
+    return req;
+}
+
 // ---------------------------------------------------------------------
 // Bounded request queue.
 // ---------------------------------------------------------------------
@@ -254,7 +262,7 @@ TEST(ServerScenario, DegradationLadderShedsHorizonThenResolution) {
 
 TEST(ServerSubmit, RunsARequestAndReportsDiagnostics) {
     ForecastServer server;
-    ForecastHandle h = server.submit(small_spec());
+    ForecastHandle h = server.submit(envelope(small_spec()));
     const ForecastResult& res = h.wait();
     ASSERT_TRUE(res.ok()) << res.error;
     EXPECT_EQ(res.steps_run, 2);
@@ -271,12 +279,12 @@ TEST(ServerSubmit, RunsARequestAndReportsDiagnostics) {
 
 TEST(ServerSubmit, DeduplicatesEquivalentRequests) {
     ForecastServer server;
-    ForecastHandle a = server.submit(small_spec());
+    ForecastHandle a = server.submit(envelope(small_spec()));
     // Same product, differently-filled struct: must attach, not re-run.
     ScenarioSpec same = small_spec();
     same.physics = true;
     same.perturb_seed = 77;
-    ForecastHandle b = server.submit(same);
+    ForecastHandle b = server.submit(envelope(same));
     EXPECT_FALSE(a.attached());
     EXPECT_TRUE(b.attached());
     EXPECT_EQ(a.wait().fingerprint, b.wait().fingerprint);
@@ -293,12 +301,15 @@ TEST(ServerSubmit, UnknownWarmStartFailsCleanlyAndServerKeepsServing) {
     bad.warm_start = "no-such-analysis";
     // Hold the handle: failed entries leave the result cache, so the
     // handle alone keeps the result alive past wait().
-    const ForecastHandle bad_handle = server.submit(bad);
+    const ForecastHandle bad_handle = server.submit(envelope(bad));
     const ForecastResult& res = bad_handle.wait();
     EXPECT_FALSE(res.ok());
     EXPECT_NE(res.error.find("no-such-analysis"), std::string::npos);
+    // The taxonomy blames the right party: the CLIENT named a
+    // checkpoint the store does not have.
+    EXPECT_EQ(res.code, ErrorCode::bad_request);
     // The failure neither wedged a worker nor poisoned the cache.
-    const ForecastResult& good = server.submit(small_spec()).wait();
+    const ForecastResult& good = server.submit(envelope(small_spec())).wait();
     EXPECT_TRUE(good.ok()) << good.error;
     server.shutdown();
     EXPECT_EQ(server.stats().failed, 1u);
@@ -316,7 +327,7 @@ TEST(ServerSubmit, ShedPolicyRejectsOnlyWhenOptedIn) {
     // Flood faster than one worker drains: some submissions must shed,
     // and every shed is reported as a clean per-request error.
     std::vector<ForecastHandle> handles;
-    for (int n = 0; n < 12; ++n) handles.push_back(server.submit(small_spec()));
+    for (int n = 0; n < 12; ++n) handles.push_back(server.submit(envelope(small_spec())));
     std::size_t ok = 0, shed = 0;
     for (auto& h : handles) {
         const ForecastResult& res = h.wait();
@@ -324,6 +335,7 @@ TEST(ServerSubmit, ShedPolicyRejectsOnlyWhenOptedIn) {
             ++ok;
         } else {
             EXPECT_NE(res.error.find("shed"), std::string::npos);
+            EXPECT_EQ(res.code, ErrorCode::over_capacity);
             ++shed;
         }
     }
@@ -331,6 +343,35 @@ TEST(ServerSubmit, ShedPolicyRejectsOnlyWhenOptedIn) {
     EXPECT_GE(ok, 1u);  // the first admission always runs
     EXPECT_EQ(shed, server.stats().shed);
     EXPECT_EQ(ok + shed, 12u);
+}
+
+TEST(ServerSubmit, DeprecatedSpecShimStillServes) {
+    // The pre-envelope C++-object surface survives as a thin shim over
+    // submit(ForecastRequestV1) — same execution path, same bits.
+    ForecastServer server;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const ForecastHandle shim = server.submit(small_spec());
+#pragma GCC diagnostic pop
+    const ForecastResult& via_shim = shim.wait();
+    ASSERT_TRUE(via_shim.ok()) << via_shim.error;
+
+    ForecastServer fresh;
+    const ForecastResult& via_envelope =
+        fresh.submit(envelope(small_spec())).wait();
+    ASSERT_TRUE(via_envelope.ok()) << via_envelope.error;
+    EXPECT_EQ(via_shim.fingerprint, via_envelope.fingerprint);
+}
+
+TEST(ServerSubmit, PerRequestDeadlineRidesTheEnvelope) {
+    // A deadline_ms on the envelope overrides the server default for
+    // that request only; with faults off it must not perturb anything.
+    ForecastServer server;
+    wire::ForecastRequestV1 req = envelope(small_spec());
+    req.deadline_ms = 60000;
+    const ForecastResult& res = server.submit(req).wait();
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.code, ErrorCode::none);
 }
 
 // ---------------------------------------------------------------------
@@ -354,7 +395,7 @@ TEST(ServerWarmStart, ContinuesBitwiseFromACapturedCheckpoint) {
     ScenarioSpec warm = spec;
     warm.warm_start = "analysis";
     warm.steps = 2;
-    const ForecastResult& res = server.submit(warm).wait();
+    const ForecastResult& res = server.submit(envelope(warm)).wait();
     ASSERT_TRUE(res.ok()) << res.error;
     ASSERT_NE(res.state, nullptr);
     expect_bitwise(reference.state(), *res.state);
@@ -421,7 +462,7 @@ TEST(ServerDeterminism, RequestMatchesStandaloneRunBitwise) {
     cfg.n_workers = 2;
     cfg.keep_state = true;
     ForecastServer server(cfg);
-    const ForecastResult& res = server.submit(spec).wait();
+    const ForecastResult& res = server.submit(envelope(spec)).wait();
     ASSERT_TRUE(res.ok()) << res.error;
     ASSERT_NE(res.state, nullptr);
     expect_bitwise(standalone.state(), *res.state);
@@ -451,7 +492,7 @@ TEST(ServerDeterminism, DecomposedRequestMatchesAllOverlapModes) {
     for (const char* overlap : {"split", "pipeline"}) {
         ScenarioSpec s = spec;
         s.overlap = overlap;
-        const ForecastResult& res = server.submit(s).wait();
+        const ForecastResult& res = server.submit(envelope(s)).wait();
         ASSERT_TRUE(res.ok()) << overlap << ": " << res.error;
         ASSERT_NE(res.state, nullptr);
         expect_bitwise(*lockstep.state, *res.state);

@@ -51,6 +51,14 @@ ScenarioSpec small_spec(int steps = 2) {
     return s;
 }
 
+/// Wrap a spec the way an out-of-process client's frame would arrive —
+/// every in-repo caller speaks the wire envelope API.
+wire::ForecastRequestV1 envelope(const ScenarioSpec& spec) {
+    wire::ForecastRequestV1 req;
+    req.spec = spec;
+    return req;
+}
+
 int soak_iters(int fallback) {
     if (const char* env = std::getenv("ASUCA_SOAK_ITERS")) {
         const int n = std::atoi(env);
@@ -179,7 +187,7 @@ TEST(ServerStress, OverloadDegradesResolutionInsteadOfDropping) {
     std::vector<ForecastHandle> handles;
     for (int n = 0; n < 16; ++n) {
         // Distinct horizons -> distinct products (no accidental dedup).
-        handles.push_back(server.submit(small_spec(4 + 4 * n)));
+        handles.push_back(server.submit(envelope(small_spec(4 + 4 * n))));
     }
     int degraded = 0;
     for (std::size_t n = 0; n < handles.size(); ++n) {
@@ -232,7 +240,7 @@ TEST(ServerSoak, RepeatedEnsembleChurnIsReproducible) {
         server.checkpoints().capture("analysis", analysis);
         auto handles = server.submit_ensemble(req);
         // Interleave unrelated traffic so members contend with strangers.
-        ForecastHandle cold = server.submit(small_spec(1));
+        ForecastHandle cold = server.submit(envelope(small_spec(1)));
         std::vector<std::uint64_t> prints;
         for (auto& h : handles) {
             const ForecastResult& res = h.wait();
